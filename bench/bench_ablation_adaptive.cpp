@@ -1,0 +1,80 @@
+// Ablation — online estimation and adaptive re-coding.
+//
+// Two operational scenarios beyond the paper's one-shot construction:
+//  (1) cold start: the master knows nothing (uniform estimates) and must
+//      learn Cluster-A's heterogeneity from per-iteration telemetry;
+//  (2) drift: the 12-vCPU worker permanently slows 4× mid-run while
+//      transient stragglers keep contending for the straggler budget.
+#include <iostream>
+
+#include "sim/adaptive.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hgc;
+  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 300;
+  const Cluster cluster = cluster_a();
+  const double ideal = ideal_iteration_time(cluster, 1);
+
+  std::cout << "=== Ablation: adaptive re-coding (Cluster-A, heter-aware, "
+               "s = 1) ===\n\n";
+
+  {
+    std::cout << "--- Cold start: uniform initial estimates, EWMA telemetry, "
+                 "re-code check every 10 iters ---\n\n";
+    AdaptiveConfig config;
+    config.iterations = iterations;
+    config.k = 48;
+    config.recode_every = 10;
+    const auto adaptive = run_adaptive(cluster, config);
+    AdaptiveConfig frozen = config;
+    frozen.recode_every = 0;
+    const auto fixed = run_adaptive(cluster, frozen);
+
+    TablePrinter table({"window (iters)", "static (uniform belief)",
+                        "adaptive", "ideal"});
+    const std::size_t w = iterations / 5;
+    for (std::size_t i = 0; i < 5; ++i) {
+      table.add_row({std::to_string(i * w) + ".." + std::to_string((i + 1) * w),
+                     TablePrinter::num(fixed.window_mean(i * w, (i + 1) * w), 4),
+                     TablePrinter::num(adaptive.window_mean(i * w, (i + 1) * w), 4),
+                     TablePrinter::num(ideal, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "re-codes performed: " << adaptive.recodes << "\n\n";
+  }
+
+  {
+    std::cout << "--- Drift: worker 7 (12 vCPUs) slows 4x at iteration "
+              << iterations / 3 << ", transient straggler every iteration ---\n\n";
+    AdaptiveConfig config;
+    config.iterations = iterations;
+    config.k = 48;
+    config.recode_every = 10;
+    config.initial_estimates = cluster.throughputs();
+    config.model.num_stragglers = 1;
+    config.model.delay_seconds = 4.0 * ideal;
+    config.drift.at_iteration = iterations / 3;
+    config.drift.worker = cluster.size() - 1;
+    config.drift.factor = 0.25;
+    const auto adaptive = run_adaptive(cluster, config);
+    AdaptiveConfig frozen = config;
+    frozen.recode_every = 0;
+    const auto fixed = run_adaptive(cluster, frozen);
+
+    TablePrinter table({"window (iters)", "static", "adaptive"});
+    const std::size_t w = iterations / 5;
+    for (std::size_t i = 0; i < 5; ++i) {
+      table.add_row({std::to_string(i * w) + ".." + std::to_string((i + 1) * w),
+                     TablePrinter::num(fixed.window_mean(i * w, (i + 1) * w), 4),
+                     TablePrinter::num(adaptive.window_mean(i * w, (i + 1) * w), 4)});
+    }
+    table.print(std::cout);
+    std::cout << "re-codes performed: " << adaptive.recodes
+              << "\n\nExpected shape: identical before the drift; after it "
+                 "the static code must spend\nits straggler budget on the "
+                 "slowed worker (transient delays surface), while\nadaptive "
+                 "re-balances and keeps absorbing the transients.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks — construction and decoding costs of the coding layer
+// (google-benchmark). Backs the paper's Section III-B complexity remarks:
+// decoding-vector solves are "usually ignorable" next to gradient compute.
+#include <benchmark/benchmark.h>
+
+#include "core/decoder.hpp"
+#include "core/group_based.hpp"
+#include "core/heter_aware.hpp"
+#include "core/scheme_factory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hgc;
+
+Throughputs spread_throughputs(std::size_t m) {
+  Throughputs c(m);
+  for (std::size_t i = 0; i < m; ++i)
+    c[i] = 2.0 + static_cast<double>(i % 8) * 2.0;  // 2..16, Table II-like
+  return c;
+}
+
+void BM_HeterAwareConstruction(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  const Throughputs c = spread_throughputs(m);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    HeterAwareScheme scheme(c, 2 * m, s, rng);
+    benchmark::DoNotOptimize(scheme.coding_matrix());
+  }
+}
+BENCHMARK(BM_HeterAwareConstruction)
+    ->Args({8, 1})
+    ->Args({16, 1})
+    ->Args({32, 1})
+    ->Args({58, 1})
+    ->Args({58, 3});
+
+void BM_GroupBasedConstruction(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Throughputs c = spread_throughputs(m);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    GroupBasedScheme scheme(c, 2 * m, 1, rng);
+    benchmark::DoNotOptimize(scheme.coding_matrix());
+  }
+}
+BENCHMARK(BM_GroupBasedConstruction)->Arg(8)->Arg(16)->Arg(32)->Arg(58);
+
+void BM_DecodeVectorSolve(benchmark::State& state) {
+  // The real-time decoding path for an irregular straggler pattern: a
+  // null-space solve on the straggler columns of C (O(s^3), Section III-B).
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  const Throughputs c = spread_throughputs(m);
+  Rng rng(9);
+  HeterAwareScheme scheme(c, 2 * m, s, rng);
+  std::vector<bool> received(m, true);
+  for (std::size_t i = 0; i < s; ++i) received[2 * i] = false;
+  for (auto _ : state) {
+    auto coefficients = scheme.decoding_coefficients(received);
+    benchmark::DoNotOptimize(coefficients);
+  }
+}
+BENCHMARK(BM_DecodeVectorSolve)
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({58, 1})
+    ->Args({58, 3})
+    ->Args({58, 5});
+
+void BM_GenericLeastSquaresDecode(benchmark::State& state) {
+  // The generic fallback the group scheme uses for mixed arrival sets.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Throughputs c = spread_throughputs(m);
+  Rng rng(10);
+  GroupBasedScheme scheme(c, 2 * m, 1, rng);
+  std::vector<bool> received(m, true);
+  received[0] = false;
+  for (auto _ : state) {
+    auto coefficients = scheme.decoding_coefficients(received);
+    benchmark::DoNotOptimize(coefficients);
+  }
+}
+BENCHMARK(BM_GenericLeastSquaresDecode)->Arg(8)->Arg(32)->Arg(58);
+
+void BM_EncodeGradient(benchmark::State& state) {
+  // Worker-side linear combination for a DNN-sized flat gradient.
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const Throughputs c = spread_throughputs(8);
+  Rng rng(11);
+  HeterAwareScheme scheme(c, 16, 1, rng);
+  std::vector<Vector> grads(16, Vector(dim, 0.5));
+  for (auto _ : state) {
+    Vector coded = encode_gradient(scheme, 7, grads);
+    benchmark::DoNotOptimize(coded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim) * 8);
+}
+BENCHMARK(BM_EncodeGradient)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_StreamingDecoderIteration(benchmark::State& state) {
+  // Full master-side pipeline: m arrivals, decodability checks, combine.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Throughputs c = spread_throughputs(m);
+  Rng rng(12);
+  HeterAwareScheme scheme(c, 2 * m, 1, rng);
+  std::vector<Vector> grads(2 * m, Vector(1024, 0.25));
+  std::vector<Vector> coded(m);
+  for (WorkerId w = 0; w < m; ++w)
+    coded[w] = encode_gradient(scheme, w, grads);
+  for (auto _ : state) {
+    StreamingDecoder decoder(scheme);
+    for (WorkerId w = 0; w < m && !decoder.ready(); ++w)
+      decoder.add_result(w, coded[w]);
+    Vector aggregate = decoder.aggregate();
+    benchmark::DoNotOptimize(aggregate);
+  }
+}
+BENCHMARK(BM_StreamingDecoderIteration)->Arg(8)->Arg(32)->Arg(58);
+
+void BM_BuildDecodingMatrix(benchmark::State& state) {
+  // Offline Eq. 2 table for all C(m, s) regular patterns.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  const Throughputs c = spread_throughputs(m);
+  Rng rng(13);
+  HeterAwareScheme scheme(c, 2 * m, s, rng);
+  for (auto _ : state) {
+    auto rows = build_decoding_matrix(scheme);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_BuildDecodingMatrix)->Args({8, 1})->Args({8, 2})->Args({16, 2});
+
+}  // namespace
+
+BENCHMARK_MAIN();

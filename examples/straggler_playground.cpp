@@ -1,0 +1,67 @@
+// Straggler playground: sweep injected delays and faults on a Table II
+// cluster and watch each scheme's average iteration time respond — a
+// command-line miniature of the paper's Fig. 2.
+//
+//   ./examples/straggler_playground --cluster A --s 1 --iters 200
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hgc;
+  Args args(argc, argv);
+  const std::string name = args.get("cluster", "A");
+  const auto s = static_cast<std::size_t>(args.get_int("s", 1));
+  const auto iterations =
+      static_cast<std::size_t>(args.get_int("iters", 200));
+  args.check_unused();
+
+  Cluster cluster = cluster_a();
+  if (name == "B") cluster = cluster_b();
+  if (name == "C") cluster = cluster_c();
+  if (name == "D") cluster = cluster_d();
+
+  const double t0 = ideal_iteration_time(cluster, s);
+  std::cout << cluster.name() << ", s = " << s
+            << ", ideal iteration time = " << TablePrinter::num(t0, 4)
+            << " s\n"
+            << "Injecting delay on " << s
+            << " random worker(s) per iteration; 'fault' = worker dies.\n\n";
+
+  TablePrinter table(
+      {"delay", "naive", "cyclic", "heter-aware", "group-based"});
+  ExperimentConfig config;
+  config.s = s;
+  config.k = exact_partition_count(cluster, s);
+  config.iterations = iterations;
+  config.model.num_stragglers = s;
+  config.model.fluctuation_sigma = 0.02;
+
+  auto row = [&](const std::string& label) {
+    const auto summaries =
+        compare_schemes(paper_schemes(), cluster, config);
+    std::vector<std::string> cells = {label};
+    for (const auto& summary : summaries)
+      cells.push_back(summary.ever_failed()
+                          ? "fail"
+                          : TablePrinter::num(summary.mean_time(), 4));
+    table.add_row(cells);
+  };
+
+  for (double factor : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    config.model.delay_seconds = factor * t0;
+    config.model.fault = false;
+    row(TablePrinter::num(factor, 1) + "x ideal");
+  }
+  config.model.fault = true;
+  row("fault");
+
+  table.print(std::cout);
+  std::cout << "\nReading: naive climbs with the delay and dies at faults;\n"
+               "cyclic is flat but pinned to its slowest survivor;\n"
+               "heter-aware/group-based sit at the balanced optimum "
+               "throughout.\n";
+  return 0;
+}

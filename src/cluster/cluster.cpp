@@ -1,0 +1,96 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hgc {
+
+Cluster::Cluster(std::string name, std::vector<WorkerSpec> workers)
+    : name_(std::move(name)), workers_(std::move(workers)) {
+  HGC_REQUIRE(!workers_.empty(), "cluster needs at least one worker");
+  for (const WorkerSpec& w : workers_)
+    HGC_REQUIRE(w.throughput > 0.0, "worker throughput must be positive");
+}
+
+Cluster Cluster::from_vcpu_histogram(
+    std::string name,
+    const std::vector<std::pair<unsigned, std::size_t>>& histogram,
+    double per_vcpu_rate) {
+  HGC_REQUIRE(per_vcpu_rate > 0.0, "per-vCPU rate must be positive");
+  std::vector<WorkerSpec> workers;
+  for (const auto& [vcpus, count] : histogram) {
+    HGC_REQUIRE(vcpus > 0, "vCPU count must be positive");
+    for (std::size_t i = 0; i < count; ++i)
+      workers.push_back({vcpus, per_vcpu_rate * static_cast<double>(vcpus)});
+  }
+  // Slowest-first ordering (t1 <= ... <= tm in the paper's notation).
+  std::stable_sort(workers.begin(), workers.end(),
+                   [](const WorkerSpec& a, const WorkerSpec& b) {
+                     return a.throughput < b.throughput;
+                   });
+  return Cluster(std::move(name), std::move(workers));
+}
+
+const WorkerSpec& Cluster::worker(WorkerId w) const {
+  HGC_REQUIRE(w < workers_.size(), "worker id out of range");
+  return workers_[w];
+}
+
+Throughputs Cluster::throughputs() const {
+  Throughputs c(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    c[w] = workers_[w].throughput;
+  return c;
+}
+
+double Cluster::total_throughput() const {
+  double total = 0.0;
+  for (const WorkerSpec& w : workers_) total += w.throughput;
+  return total;
+}
+
+double Cluster::min_throughput() const {
+  double lowest = std::numeric_limits<double>::infinity();
+  for (const WorkerSpec& w : workers_) lowest = std::min(lowest, w.throughput);
+  return lowest;
+}
+
+double Cluster::heterogeneity_ratio() const {
+  return total_throughput() / static_cast<double>(size()) / min_throughput();
+}
+
+// Table II of the paper: workers per vCPU class.
+//   class:      2-vCPU 4-vCPU 8-vCPU 12-vCPU 16-vCPU
+//   Cluster-A:     2      2      3      1       0    (8 workers)
+//   Cluster-B:     2      4      8      0       2    (16 workers)
+//   Cluster-C:     1      4     10     12       5    (32 workers)
+//   Cluster-D:     0      4     20     18      16    (58 workers)
+Cluster cluster_a(double per_vcpu_rate) {
+  return Cluster::from_vcpu_histogram(
+      "Cluster-A", {{2, 2}, {4, 2}, {8, 3}, {12, 1}}, per_vcpu_rate);
+}
+
+Cluster cluster_b(double per_vcpu_rate) {
+  return Cluster::from_vcpu_histogram(
+      "Cluster-B", {{2, 2}, {4, 4}, {8, 8}, {16, 2}}, per_vcpu_rate);
+}
+
+Cluster cluster_c(double per_vcpu_rate) {
+  return Cluster::from_vcpu_histogram(
+      "Cluster-C", {{2, 1}, {4, 4}, {8, 10}, {12, 12}, {16, 5}},
+      per_vcpu_rate);
+}
+
+Cluster cluster_d(double per_vcpu_rate) {
+  return Cluster::from_vcpu_histogram(
+      "Cluster-D", {{4, 4}, {8, 20}, {12, 18}, {16, 16}}, per_vcpu_rate);
+}
+
+std::vector<Cluster> paper_clusters(double per_vcpu_rate) {
+  return {cluster_a(per_vcpu_rate), cluster_b(per_vcpu_rate),
+          cluster_c(per_vcpu_rate), cluster_d(per_vcpu_rate)};
+}
+
+}  // namespace hgc

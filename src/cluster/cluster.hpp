@@ -1,0 +1,68 @@
+// Heterogeneous cluster model (Section VI, Table II).
+//
+// The paper evaluates on QingCloud VM clusters whose workers differ only in
+// vCPU count. The schemes interact with the platform solely through
+// per-worker completion times, so the model is: throughput proportional to
+// vCPUs (data units per second), plus the runtime effects injected by
+// StragglerModel (fluctuation, artificial delay, fail-stop faults).
+// Throughput is measured in *datasets per second*: a worker with throughput
+// w processing a fraction f of the dataset takes f / w seconds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hgc {
+
+/// One worker VM.
+struct WorkerSpec {
+  unsigned vcpus = 1;
+  double throughput = 1.0;  ///< datasets per second when healthy
+};
+
+/// A named, ordered collection of workers.
+class Cluster {
+ public:
+  Cluster(std::string name, std::vector<WorkerSpec> workers);
+
+  /// Build from a (vCPU count → number of workers) histogram, Table II
+  /// style. Throughput = vcpus · per_vcpu_rate. Workers are laid out
+  /// slowest-first, matching the paper's ordering convention t₁ ≤ … ≤ t_m.
+  static Cluster from_vcpu_histogram(
+      std::string name,
+      const std::vector<std::pair<unsigned, std::size_t>>& histogram,
+      double per_vcpu_rate = 1.0);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return workers_.size(); }
+  const std::vector<WorkerSpec>& workers() const { return workers_; }
+  const WorkerSpec& worker(WorkerId w) const;
+
+  /// True per-worker throughputs (datasets/second).
+  Throughputs throughputs() const;
+
+  double total_throughput() const;
+  double min_throughput() const;
+  /// mean(c)/min(c): the paper's predicted heter-aware vs cyclic speedup at
+  /// full fault (3.0 for Cluster-A).
+  double heterogeneity_ratio() const;
+
+ private:
+  std::string name_;
+  std::vector<WorkerSpec> workers_;
+};
+
+/// Table II presets. Throughput scale: 1.0 dataset/s per vCPU by default so
+/// iteration times land in convenient units.
+Cluster cluster_a(double per_vcpu_rate = 1.0);  ///< 8 workers
+Cluster cluster_b(double per_vcpu_rate = 1.0);  ///< 16 workers
+Cluster cluster_c(double per_vcpu_rate = 1.0);  ///< 32 workers
+Cluster cluster_d(double per_vcpu_rate = 1.0);  ///< 58 workers
+
+/// All four presets in order.
+std::vector<Cluster> paper_clusters(double per_vcpu_rate = 1.0);
+
+}  // namespace hgc

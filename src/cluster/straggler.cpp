@@ -1,0 +1,103 @@
+#include "cluster/straggler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hgc {
+
+IterationConditions StragglerModel::draw(std::size_t num_workers,
+                                         Rng& rng) const {
+  HGC_REQUIRE(num_stragglers <= num_workers,
+              "cannot delay more workers than exist");
+  HGC_REQUIRE(delay_seconds >= 0.0, "delay must be non-negative");
+  HGC_REQUIRE(fluctuation_sigma >= 0.0, "sigma must be non-negative");
+
+  IterationConditions cond;
+  cond.speed_factor.assign(num_workers, 1.0);
+  cond.delay.assign(num_workers, 0.0);
+  cond.faulted.assign(num_workers, false);
+
+  if (fluctuation_sigma > 0.0) {
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      const double eps = rng.truncated_normal(
+          0.0, fluctuation_sigma, -3.0 * fluctuation_sigma,
+          3.0 * fluctuation_sigma);
+      cond.speed_factor[w] = std::max(0.05, 1.0 + eps);
+    }
+  }
+
+  if (num_stragglers > 0) {
+    const auto victims =
+        rng.sample_without_replacement(num_workers, num_stragglers);
+    for (std::size_t w : victims) {
+      if (fault)
+        cond.faulted[w] = true;
+      else
+        cond.delay[w] += delay_seconds;
+    }
+  }
+  return cond;
+}
+
+StragglerProcess::StragglerProcess(StragglerModel model, double persistence,
+                                   std::size_t num_workers, Rng rng)
+    : model_(model),
+      persistence_(persistence),
+      num_workers_(num_workers),
+      rng_(rng) {
+  HGC_REQUIRE(persistence >= 0.0 && persistence <= 1.0,
+              "persistence must lie in [0, 1]");
+  HGC_REQUIRE(model.num_stragglers <= num_workers,
+              "cannot delay more workers than exist");
+}
+
+IterationConditions StragglerProcess::next() {
+  // Evolve the victim set: each current victim stays with probability
+  // `persistence`; departures are replaced by uniform draws from the
+  // non-victim population.
+  std::vector<WorkerId> surviving;
+  for (WorkerId w : victims_)
+    if (rng_.bernoulli(persistence_)) surviving.push_back(w);
+
+  std::vector<bool> is_victim(num_workers_, false);
+  for (WorkerId w : surviving) is_victim[w] = true;
+  while (surviving.size() < model_.num_stragglers) {
+    const auto candidate = static_cast<WorkerId>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(num_workers_) - 1));
+    if (is_victim[candidate]) continue;
+    is_victim[candidate] = true;
+    surviving.push_back(candidate);
+  }
+  std::sort(surviving.begin(), surviving.end());
+  victims_ = std::move(surviving);
+
+  // Fluctuation stays iid; the victim set supplies the delay/fault targets.
+  StragglerModel fluctuation_only = model_;
+  fluctuation_only.num_stragglers = 0;
+  IterationConditions cond = fluctuation_only.draw(num_workers_, rng_);
+  for (WorkerId w : victims_) {
+    if (model_.fault)
+      cond.faulted[w] = true;
+    else
+      cond.delay[w] += model_.delay_seconds;
+  }
+  return cond;
+}
+
+Throughputs estimate_throughputs(const Throughputs& truth, double sigma,
+                                 Rng& rng) {
+  HGC_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
+  Throughputs estimated(truth.size());
+  for (std::size_t w = 0; w < truth.size(); ++w) {
+    HGC_REQUIRE(truth[w] > 0.0, "true throughput must be positive");
+    const double eps =
+        sigma > 0.0
+            ? rng.truncated_normal(0.0, sigma, -3.0 * sigma, 3.0 * sigma)
+            : 0.0;
+    estimated[w] = std::max(0.05 * truth[w], truth[w] * (1.0 + eps));
+  }
+  return estimated;
+}
+
+}  // namespace hgc

@@ -1,0 +1,81 @@
+// Straggler and noise injection (Section VI-A: "stragglers are created
+// artificially by adding delay to the workers").
+//
+// Each simulated iteration draws an IterationConditions: a per-worker speed
+// factor (transient resource fluctuation), an added delay, and a fail-stop
+// flag. The three knobs map one-to-one to the paper's experimental handles:
+//   * artificial delay on s random workers  (Fig. 2 x-axis)
+//   * fail-stop faults ("delay = infinity") (Fig. 2 rightmost points)
+//   * background fluctuation                (always on in real clusters)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace hgc {
+
+/// Per-iteration runtime conditions for every worker.
+struct IterationConditions {
+  std::vector<double> speed_factor;  ///< multiplies throughput; ≈1.0
+  std::vector<double> delay;         ///< seconds added before the result sends
+  std::vector<bool> faulted;         ///< fail-stop: result never arrives
+
+  std::size_t size() const { return speed_factor.size(); }
+};
+
+/// Configuration for drawing iteration conditions.
+struct StragglerModel {
+  /// Number of workers hit by the artificial delay/fault each iteration,
+  /// chosen uniformly at random (the paper delays "any s random workers").
+  std::size_t num_stragglers = 0;
+  /// Added delay in seconds for the chosen workers.
+  double delay_seconds = 0.0;
+  /// If true the chosen workers fail outright instead of being delayed.
+  bool fault = false;
+  /// Std-dev of the multiplicative throughput fluctuation applied to every
+  /// worker every iteration (truncated to ±3σ, factor floored at 0.05).
+  double fluctuation_sigma = 0.0;
+
+  /// Draw conditions for one iteration.
+  IterationConditions draw(std::size_t num_workers, Rng& rng) const;
+};
+
+/// Throughput-estimation error model (Section V's motivation): the master
+/// estimates worker speeds by sampling; estimates drift from the truth by a
+/// multiplicative factor (1 + ε), ε ~ N(0, σ²) truncated to ±3σ, with the
+/// result floored at 5% of the true value.
+Throughputs estimate_throughputs(const Throughputs& truth, double sigma,
+                                 Rng& rng);
+
+/// Temporally-correlated straggler process. The paper separates *transient*
+/// fluctuation (iid per iteration — StragglerModel::draw) from *consistent*
+/// heterogeneity (permanent — the cluster's throughputs). Real stragglers
+/// often sit in between: a worker hit by a noisy neighbor stays slow for a
+/// while. This process makes each victim persist with probability
+/// `persistence` per iteration (0 = iid, matching StragglerModel::draw in
+/// distribution; → 1 = near-permanent); departed victims are replaced so the
+/// per-iteration victim count stays at num_stragglers.
+class StragglerProcess {
+ public:
+  StragglerProcess(StragglerModel model, double persistence,
+                   std::size_t num_workers, Rng rng);
+
+  /// Conditions for the next iteration.
+  IterationConditions next();
+
+  /// Current victim set (sorted), for tests and diagnostics.
+  const std::vector<WorkerId>& victims() const { return victims_; }
+
+ private:
+  StragglerModel model_;
+  double persistence_;
+  std::size_t num_workers_;
+  Rng rng_;
+  std::vector<WorkerId> victims_;
+};
+
+}  // namespace hgc

@@ -1,0 +1,119 @@
+#include "core/alg1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/allocation.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/nullspace.hpp"
+#include "util/error.hpp"
+
+namespace hgc {
+namespace {
+constexpr double kSumTolerance = 1e-12;
+}
+
+Alg1Code::Alg1Code(Matrix c, std::vector<WorkerId> workers, std::size_t s)
+    : c_(std::move(c)), workers_(std::move(workers)), s_(s) {
+  HGC_REQUIRE(c_.rows() == s_ + 1, "C must have s+1 rows");
+  HGC_REQUIRE(c_.cols() == workers_.size(), "one C column per worker");
+}
+
+std::optional<Vector> Alg1Code::decode(const std::vector<bool>& received,
+                                       std::size_t total_workers) const {
+  if (empty()) return std::nullopt;
+  HGC_REQUIRE(received.size() >= total_workers, "received flags too short");
+
+  // Local straggler set: this code's workers whose results are missing.
+  std::vector<std::size_t> missing_cols;
+  for (std::size_t j = 0; j < workers_.size(); ++j) {
+    HGC_REQUIRE(workers_[j] < total_workers, "worker id out of range");
+    if (!received[workers_[j]]) missing_cols.push_back(j);
+  }
+  if (missing_cols.size() > s_) return std::nullopt;
+
+  // Find λ ∈ R^{s+1}, λ·C_S = 0, Σλ ≠ 0 (Lemma 2's decoding argument).
+  Vector lambda;
+  double lambda_sum = 0.0;
+  if (missing_cols.empty()) {
+    // No stragglers: any row combination works; take the first row (λ = e₁).
+    lambda.assign(s_ + 1, 0.0);
+    lambda[0] = 1.0;
+    lambda_sum = 1.0;
+  } else {
+    const Matrix c_s = c_.select_cols(missing_cols);
+    const Matrix basis = null_space_basis(c_s.transposed());
+    if (basis.cols() == 0) return std::nullopt;  // numerically degenerate C
+    // Property (P2) guarantees some null vector with nonzero coordinate sum;
+    // with a multi-dimensional null space individual basis vectors may still
+    // sum to ~0, so scan for the best-conditioned one.
+    std::size_t best = basis.cols();
+    for (std::size_t col = 0; col < basis.cols(); ++col) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r <= s_; ++r) sum += basis(r, col);
+      if (std::abs(sum) > std::abs(lambda_sum)) {
+        lambda_sum = sum;
+        best = col;
+      }
+    }
+    if (best == basis.cols() || std::abs(lambda_sum) < kSumTolerance)
+      return std::nullopt;  // (P2) violated — probability-zero event
+    lambda = basis.col(best);
+  }
+
+  // a = λ·C / Σλ, scattered to global worker slots.
+  Vector coefficients(total_workers, 0.0);
+  for (std::size_t j = 0; j < workers_.size(); ++j) {
+    double value = 0.0;
+    for (std::size_t r = 0; r <= s_; ++r) value += lambda[r] * c_(r, j);
+    coefficients[workers_[j]] = value / lambda_sum;
+  }
+  // Entries on missing workers are λ·C_S/Σλ = 0 by construction; zero them
+  // exactly so callers can rely on supp(a) ⊆ received.
+  for (std::size_t j : missing_cols) coefficients[workers_[j]] = 0.0;
+  return coefficients;
+}
+
+Alg1Build build_alg1(const Assignment& assignment, std::size_t k,
+                     std::size_t s, Rng& rng) {
+  const std::size_t m = assignment.size();
+  HGC_REQUIRE(is_valid_allocation(assignment, k, s),
+              "assignment must replicate every partition exactly s+1 times");
+
+  // Active workers: those holding at least one partition. C gets one column
+  // per active worker; idle workers keep zero rows and stay out of decoding.
+  std::vector<WorkerId> active;
+  for (std::size_t w = 0; w < m; ++w)
+    if (!assignment[w].empty()) active.push_back(w);
+  HGC_REQUIRE(active.size() > s, "need more than s active workers");
+
+  std::vector<std::size_t> col_of(m, m);  // global worker -> C column
+  for (std::size_t j = 0; j < active.size(); ++j) col_of[active[j]] = j;
+
+  Matrix c(s + 1, active.size());
+  for (std::size_t r = 0; r <= s; ++r)
+    for (std::size_t j = 0; j < active.size(); ++j)
+      c(r, j) = rng.uniform(0.0, 1.0);
+
+  // Holders of each partition (exactly s+1 workers, validated above).
+  std::vector<std::vector<WorkerId>> holders(k);
+  for (std::size_t w = 0; w < m; ++w)
+    for (PartitionId p : assignment[w]) holders[p].push_back(w);
+
+  Matrix b(m, k);
+  for (PartitionId p = 0; p < k; ++p) {
+    std::vector<std::size_t> cols(holders[p].size());
+    for (std::size_t i = 0; i < holders[p].size(); ++i)
+      cols[i] = col_of[holders[p][i]];
+    const Matrix c_p = c.select_cols(cols);
+    const Vector ones(s + 1, 1.0);
+    // C_p is (s+1)×(s+1) and nonsingular w.p. 1 (property P1, Lemma 3).
+    const Vector d = lu_solve(c_p, ones);
+    for (std::size_t i = 0; i < holders[p].size(); ++i)
+      b(holders[p][i], p) = d[i];
+  }
+
+  return {std::move(b), Alg1Code(std::move(c), std::move(active), s)};
+}
+
+}  // namespace hgc

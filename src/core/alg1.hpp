@@ -1,0 +1,58 @@
+// Algorithm 1 of the paper: constructing the coding matrix B from a random
+// auxiliary matrix C (Lemmas 2 and 3).
+//
+// Draw C ∈ (0,1)^{(s+1)×m'} uniformly at random over the m' active workers
+// (those holding at least one partition). For each partition j, the s+1
+// workers holding it index an (s+1)×(s+1) submatrix C_j; solving
+// C_j · d = 1_{s+1} and embedding d into column j of B yields C·B = 1, which
+// gives Condition 1 (robustness) and an O(s³) decoding rule.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hgc {
+
+/// The decodable structure Alg.1 leaves behind: the random matrix C plus the
+/// mapping from its columns to global worker ids. Decoding for a straggler
+/// set S reduces to a null-space solve on the straggler columns of C
+/// (Section III-B), independent of k.
+class Alg1Code {
+ public:
+  Alg1Code() = default;
+  Alg1Code(Matrix c, std::vector<WorkerId> workers, std::size_t s);
+
+  /// Decoding coefficients over `total_workers` slots: zero outside this
+  /// code's workers and on non-received workers; a·B = 1 on success. Fails
+  /// (nullopt) when more than s of this code's workers are missing.
+  std::optional<Vector> decode(const std::vector<bool>& received,
+                               std::size_t total_workers) const;
+
+  std::size_t stragglers_tolerated() const { return s_; }
+  const std::vector<WorkerId>& workers() const { return workers_; }
+  const Matrix& c() const { return c_; }
+  bool empty() const { return workers_.empty(); }
+
+ private:
+  Matrix c_;                       // (s+1) × |workers|
+  std::vector<WorkerId> workers_;  // global ids of the code's columns
+  std::size_t s_ = 0;
+};
+
+/// Result of running Algorithm 1 over an assignment.
+struct Alg1Build {
+  Matrix b;      ///< m×k coding matrix (rows of inactive workers are zero)
+  Alg1Code code; ///< fast decoder state
+};
+
+/// Run Algorithm 1. `assignment` must replicate every partition exactly s+1
+/// times across distinct workers (is_valid_allocation). Workers with no
+/// partitions get zero rows and take no part in decoding.
+Alg1Build build_alg1(const Assignment& assignment, std::size_t k,
+                     std::size_t s, Rng& rng);
+
+}  // namespace hgc

@@ -1,0 +1,53 @@
+// Heterogeneity-aware data allocation (Section IV-A, Eq. 5 and Eq. 6).
+//
+// n_i = k(s+1) · c_i / Σc partitions go to worker i, assigned cyclically so
+// that each of the k partitions lands on exactly s+1 distinct workers. The
+// paper assumes the n_i are integers; real throughputs rarely oblige, so
+// proportional_counts() uses largest-remainder rounding that preserves the
+// total and the n_i ≤ k cap (the cap is what guarantees distinctness of the
+// s+1 replicas under cyclic assignment).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hgc {
+
+/// Split `total` units proportionally to `weights`, returning non-negative
+/// integer counts with sum exactly `total` and every count ≤ `cap`.
+/// Largest-remainder (Hamilton) rounding; overflow beyond the cap is
+/// redistributed to the workers with the largest unmet fractional share.
+/// Requires total ≤ cap·weights.size() and at least one positive weight.
+std::vector<std::size_t> proportional_counts(std::span<const double> weights,
+                                             std::size_t total,
+                                             std::size_t cap);
+
+/// Eq. 5: per-worker partition counts for a heterogeneity-aware code with k
+/// partitions tolerating s stragglers on workers with throughputs c.
+std::vector<std::size_t> heter_aware_counts(const Throughputs& c,
+                                            std::size_t k, std::size_t s);
+
+/// Eq. 6: cyclic assignment. Worker i receives partitions
+/// (n'_i .. n'_i + n_i − 1) mod k with n'_i = Σ_{j<i} n_j. Requires every
+/// count ≤ k and Σ counts divisible by k (so each partition is covered the
+/// same number of times). Returned partition lists are sorted.
+Assignment cyclic_assignment(std::span<const std::size_t> counts,
+                             std::size_t k);
+
+/// Uniform allocation of the cyclic scheme of Tandon et al. [12]:
+/// every worker gets exactly s+1 of the k = m partitions.
+Assignment cyclic_scheme_assignment(std::size_t m, std::size_t s);
+
+/// How many workers hold each partition (the replication profile). A valid
+/// s-tolerant allocation has every entry equal to s+1.
+std::vector<std::size_t> replication_profile(const Assignment& assignment,
+                                             std::size_t k);
+
+/// True iff every partition is held by exactly s+1 distinct workers.
+bool is_valid_allocation(const Assignment& assignment, std::size_t k,
+                         std::size_t s);
+
+}  // namespace hgc

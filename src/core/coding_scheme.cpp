@@ -1,0 +1,94 @@
+#include "core/coding_scheme.hpp"
+
+#include <algorithm>
+
+#include "linalg/qr.hpp"
+#include "util/error.hpp"
+
+namespace hgc {
+namespace {
+// A least-squares residual below this bound certifies 1 ∈ rowspan(B_R).
+constexpr double kDecodeResidualTolerance = 1e-8;
+}  // namespace
+
+CodingScheme::CodingScheme(Matrix b, Assignment assignment, std::size_t s)
+    : coding_matrix_(std::move(b)),
+      assignment_(std::move(assignment)),
+      s_(s) {
+  HGC_REQUIRE(assignment_.size() == coding_matrix_.rows(),
+              "assignment must have one entry per worker");
+  HGC_REQUIRE(s_ < coding_matrix_.rows(),
+              "cannot tolerate as many stragglers as there are workers");
+  // The coding matrix's support must match the declared assignment exactly;
+  // the simulator derives per-worker compute load from the assignment and
+  // the decoder trusts the matrix, so a mismatch would silently skew both.
+  for (std::size_t w = 0; w < assignment_.size(); ++w) {
+    std::vector<PartitionId> support;
+    for (std::size_t j = 0; j < coding_matrix_.cols(); ++j)
+      if (coding_matrix_(w, j) != 0.0) support.push_back(j);
+    HGC_REQUIRE(support == assignment_[w],
+                "coding-matrix support differs from assignment");
+  }
+}
+
+std::optional<Vector> CodingScheme::generic_decode(
+    const std::vector<bool>& received) const {
+  HGC_REQUIRE(received.size() == num_workers(),
+              "received flags must have one entry per worker");
+  std::vector<std::size_t> rows;
+  for (std::size_t w = 0; w < received.size(); ++w)
+    if (received[w]) rows.push_back(w);
+  if (rows.empty()) return std::nullopt;
+
+  // Solve B_Rᵀ·x = 1 (k equations, |R| unknowns).
+  const Matrix brt = coding_matrix_.select_rows(rows).transposed();
+  const Vector ones(num_partitions(), 1.0);
+  LeastSquaresResult ls = least_squares(brt, ones);
+  if (ls.residual > kDecodeResidualTolerance) return std::nullopt;
+
+  Vector coefficients(num_workers(), 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    coefficients[rows[i]] = ls.x[i];
+  return coefficients;
+}
+
+Vector encode_gradient(const CodingScheme& scheme, WorkerId worker,
+                       const std::vector<Vector>& partition_gradients) {
+  HGC_REQUIRE(worker < scheme.num_workers(), "worker id out of range");
+  HGC_REQUIRE(partition_gradients.size() == scheme.num_partitions(),
+              "need one gradient slot per partition");
+  const auto& mine = scheme.assignment()[worker];
+  if (mine.empty()) return {};
+
+  const std::size_t dim = partition_gradients[mine.front()].size();
+  Vector coded(dim, 0.0);
+  for (PartitionId p : mine) {
+    const Vector& g = partition_gradients[p];
+    HGC_REQUIRE(g.size() == dim, "partition gradients must share a dimension");
+    axpy(scheme.coding_matrix()(worker, p), g, coded);
+  }
+  return coded;
+}
+
+Vector combine_coded_gradients(std::span<const double> coefficients,
+                               const std::vector<Vector>& coded) {
+  HGC_REQUIRE(coefficients.size() == coded.size(),
+              "one coefficient per worker result");
+  std::size_t dim = 0;
+  for (std::size_t w = 0; w < coded.size(); ++w)
+    if (coefficients[w] != 0.0 && !coded[w].empty()) {
+      dim = coded[w].size();
+      break;
+    }
+  Vector aggregate(dim, 0.0);
+  for (std::size_t w = 0; w < coded.size(); ++w) {
+    if (coefficients[w] == 0.0) continue;
+    HGC_REQUIRE(!coded[w].empty(),
+                "nonzero coefficient for a worker that sent no result");
+    HGC_REQUIRE(coded[w].size() == dim, "coded gradients must share a size");
+    axpy(coefficients[w], coded[w], aggregate);
+  }
+  return aggregate;
+}
+
+}  // namespace hgc

@@ -1,0 +1,84 @@
+// Abstract interface of a gradient coding strategy (Section III-B).
+//
+// A scheme owns the coding matrix B ∈ R^{m×k}: row i holds worker i's linear
+// encoding coefficients, its support is worker i's data assignment. The only
+// runtime question the master ever asks is: "given which workers have
+// responded so far, can I reconstruct Σ g_j — and with what coefficients?"
+// decoding_coefficients() answers it; everything else is bookkeeping.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hgc {
+
+/// Base class for all gradient coding strategies.
+class CodingScheme {
+ public:
+  virtual ~CodingScheme() = default;
+
+  CodingScheme(const CodingScheme&) = delete;
+  CodingScheme& operator=(const CodingScheme&) = delete;
+
+  /// Human-readable scheme name ("heter-aware", "cyclic", ...).
+  virtual std::string name() const = 0;
+
+  std::size_t num_workers() const { return coding_matrix_.rows(); }
+  std::size_t num_partitions() const { return coding_matrix_.cols(); }
+
+  /// Number of stragglers this instance is provisioned to tolerate.
+  std::size_t stragglers_tolerated() const { return s_; }
+
+  /// The coding matrix B.
+  const Matrix& coding_matrix() const { return coding_matrix_; }
+
+  /// Data-partition assignment (supp(b_i) per worker).
+  const Assignment& assignment() const { return assignment_; }
+
+  /// Number of partitions worker w computes per iteration (||b_w||_0).
+  std::size_t load(WorkerId w) const { return assignment_[w].size(); }
+
+  /// Decoding coefficients a with supp(a) ⊆ received and a·B = 1_{1×k}, or
+  /// nullopt when the received set cannot reconstruct the gradient yet.
+  /// `received[w]` is true when worker w's coded result has arrived.
+  virtual std::optional<Vector> decoding_coefficients(
+      const std::vector<bool>& received) const = 0;
+
+  /// Cheap lower bound on how many results must have arrived before
+  /// decoding_coefficients can possibly succeed; the master uses it to skip
+  /// pointless solves while results trickle in.
+  virtual std::size_t min_results_required() const {
+    return num_workers() - s_;
+  }
+
+ protected:
+  /// Derived constructors hand over the finished matrix and assignment.
+  CodingScheme(Matrix b, Assignment assignment, std::size_t s);
+
+  /// Generic decodability fallback: least-squares solve of B_Rᵀ·x = 1 with a
+  /// residual test. Works for any B; O(k·|R|²).
+  std::optional<Vector> generic_decode(const std::vector<bool>& received)
+      const;
+
+ private:
+  Matrix coding_matrix_;
+  Assignment assignment_;
+  std::size_t s_;
+};
+
+/// Worker-side encoding: g̃_w = Σ_j B(w,j)·g_j over the partitions worker w
+/// holds. `partition_gradients[j]` is g_j; only the supported entries are
+/// touched, so callers may leave other slots empty.
+Vector encode_gradient(const CodingScheme& scheme, WorkerId worker,
+                       const std::vector<Vector>& partition_gradients);
+
+/// Master-side reconstruction: Σ_w a_w·g̃_w. `coded[w]` may be empty when
+/// a_w == 0 (worker never responded).
+Vector combine_coded_gradients(std::span<const double> coefficients,
+                               const std::vector<Vector>& coded);
+
+}  // namespace hgc

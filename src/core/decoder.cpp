@@ -1,0 +1,74 @@
+#include "core/decoder.hpp"
+
+#include "core/robustness.hpp"
+#include "util/error.hpp"
+
+namespace hgc {
+
+std::vector<DecodingRow> build_decoding_matrix(const CodingScheme& scheme) {
+  const std::size_t m = scheme.num_workers();
+  const std::size_t s = scheme.stragglers_tolerated();
+  std::vector<DecodingRow> rows;
+  for_each_straggler_pattern(m, s, [&](const StragglerSet& pattern) {
+    std::vector<bool> received(m, true);
+    for (WorkerId w : pattern) received[w] = false;
+    // Workers with no data never respond regardless of the pattern.
+    for (std::size_t w = 0; w < m; ++w)
+      if (scheme.load(w) == 0) received[w] = false;
+    auto coefficients = scheme.decoding_coefficients(received);
+    if (!coefficients)
+      throw DecodeError("scheme is not robust to pattern starting at worker " +
+                        std::to_string(pattern.empty() ? m : pattern.front()));
+    rows.push_back({pattern, std::move(*coefficients)});
+    return true;
+  });
+  return rows;
+}
+
+StreamingDecoder::StreamingDecoder(const CodingScheme& scheme)
+    : scheme_(scheme),
+      received_(scheme.num_workers(), false),
+      coded_(scheme.num_workers()) {}
+
+bool StreamingDecoder::add_result(WorkerId w, Vector coded_gradient) {
+  HGC_REQUIRE(w < received_.size(), "worker id out of range");
+  HGC_REQUIRE(!received_[w], "duplicate result from worker");
+  received_[w] = true;
+  coded_[w] = std::move(coded_gradient);
+  ++received_count_;
+  if (coefficients_) return false;  // already decodable, extra result unused
+  if (received_count_ < scheme_.min_results_required()) return false;
+  coefficients_ = scheme_.decoding_coefficients(received_);
+  return coefficients_.has_value();
+}
+
+Vector StreamingDecoder::aggregate() const {
+  if (!coefficients_)
+    throw DecodeError("aggregate requested before the code is decodable");
+  return combine_coded_gradients(*coefficients_, coded_);
+}
+
+const Vector& StreamingDecoder::coefficients() const {
+  if (!coefficients_)
+    throw DecodeError("coefficients requested before the code is decodable");
+  return *coefficients_;
+}
+
+std::vector<WorkerId> StreamingDecoder::unused_workers() const {
+  std::vector<WorkerId> unused;
+  for (std::size_t w = 0; w < received_.size(); ++w) {
+    const bool used =
+        coefficients_ && (*coefficients_)[w] != 0.0;
+    if (received_[w] && !used) unused.push_back(w);
+  }
+  return unused;
+}
+
+void StreamingDecoder::reset() {
+  std::fill(received_.begin(), received_.end(), false);
+  for (auto& v : coded_) v.clear();
+  received_count_ = 0;
+  coefficients_.reset();
+}
+
+}  // namespace hgc

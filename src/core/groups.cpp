@@ -1,0 +1,198 @@
+#include "core/groups.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace hgc {
+namespace {
+
+/// Fixed-size bitset over k partitions backed by 64-bit words.
+class PartitionMask {
+ public:
+  explicit PartitionMask(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i / 64] |= std::uint64_t{1} << (i % 64); }
+
+  bool any_overlap(const PartitionMask& other) const {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      if (words_[w] & other.words_[w]) return true;
+    return false;
+  }
+
+  bool is_subset_of(const PartitionMask& other) const {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      if (words_[w] & ~other.words_[w]) return false;
+    return true;
+  }
+
+  bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  void add(const PartitionMask& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      words_[w] |= other.words_[w];
+  }
+
+  void remove(const PartitionMask& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      words_[w] &= ~other.words_[w];
+  }
+
+  bool empty() const {
+    for (std::uint64_t w : words_)
+      if (w) return false;
+    return true;
+  }
+
+  /// Index of the lowest set bit; bits_ if none.
+  std::size_t lowest() const {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      if (words_[w])
+        return w * 64 +
+               static_cast<std::size_t>(std::countr_zero(words_[w]));
+    return bits_;
+  }
+
+ private:
+  std::size_t bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+struct GroupSearch {
+  const std::vector<PartitionMask>& worker_masks;
+  const std::vector<std::vector<WorkerId>>& holders;
+  const GroupSearchLimits& limits;
+  std::vector<Group>& out;
+  std::size_t nodes = 0;
+
+  bool exhausted() const {
+    return out.size() >= limits.max_groups || nodes >= limits.max_nodes;
+  }
+
+  void dfs(PartitionMask& remaining, Group& chosen) {
+    if (exhausted()) return;
+    ++nodes;
+    if (remaining.empty()) {
+      // All partitions covered: `chosen` is an exact cover.
+      out.push_back(chosen);
+      return;
+    }
+    const std::size_t lowest = remaining.lowest();
+    // Branch on the lowest uncovered partition: exactly one worker in any
+    // cover supplies it, so every cover is enumerated exactly once.
+    for (WorkerId w : holders[lowest]) {
+      const PartitionMask& mask = worker_masks[w];
+      if (!mask.is_subset_of(remaining)) continue;
+      chosen.push_back(w);
+      remaining.remove(mask);
+      dfs(remaining, chosen);
+      remaining.add(mask);
+      chosen.pop_back();
+      if (exhausted()) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Group> find_all_groups(const Assignment& assignment,
+                                   std::size_t k,
+                                   const GroupSearchLimits& limits) {
+  HGC_REQUIRE(k > 0, "need at least one partition");
+  const std::size_t m = assignment.size();
+
+  std::vector<PartitionMask> worker_masks;
+  worker_masks.reserve(m);
+  for (std::size_t w = 0; w < m; ++w) {
+    PartitionMask mask(k);
+    for (PartitionId p : assignment[w]) {
+      HGC_REQUIRE(p < k, "partition id out of range");
+      mask.set(p);
+    }
+    worker_masks.push_back(std::move(mask));
+  }
+
+  std::vector<std::vector<WorkerId>> holders(k);
+  for (std::size_t w = 0; w < m; ++w)
+    for (PartitionId p : assignment[w]) holders[p].push_back(w);
+
+  std::vector<Group> groups;
+  PartitionMask remaining(k);
+  for (std::size_t p = 0; p < k; ++p) remaining.set(p);
+  Group chosen;
+  GroupSearch search{worker_masks, holders, limits, groups};
+  search.dfs(remaining, chosen);
+
+  for (Group& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+std::vector<Group> prune_groups(std::vector<Group> groups) {
+  auto intersects = [](const Group& a, const Group& b) {
+    // Both sorted: linear merge scan.
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] == b[j]) return true;
+      if (a[i] < b[j])
+        ++i;
+      else
+        ++j;
+    }
+    return false;
+  };
+
+  while (true) {
+    const std::size_t n = groups.size();
+    std::vector<std::size_t> conflicts(n, 0);
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (intersects(groups[i], groups[j])) {
+          ++conflicts[i];
+          ++conflicts[j];
+          any = true;
+        }
+    if (!any) break;
+
+    // Remove the group with the most conflicts; break ties toward the larger
+    // group (harder to complete at runtime), then the later index.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (conflicts[i] > conflicts[victim] ||
+          (conflicts[i] == conflicts[victim] &&
+           groups[i].size() >= groups[victim].size()))
+        victim = i;
+    }
+    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  return groups;
+}
+
+bool is_exact_cover(const Assignment& assignment, std::size_t k,
+                    const Group& group) {
+  std::vector<std::size_t> copies(k, 0);
+  for (WorkerId w : group) {
+    if (w >= assignment.size()) return false;
+    for (PartitionId p : assignment[w]) {
+      if (p >= k) return false;
+      ++copies[p];
+    }
+  }
+  return std::all_of(copies.begin(), copies.end(),
+                     [](std::size_t c) { return c == 1; });
+}
+
+bool are_disjoint(const std::vector<Group>& groups) {
+  std::vector<WorkerId> all;
+  for (const Group& g : groups) all.insert(all.end(), g.begin(), g.end());
+  std::sort(all.begin(), all.end());
+  return std::adjacent_find(all.begin(), all.end()) == all.end();
+}
+
+}  // namespace hgc

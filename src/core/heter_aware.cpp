@@ -1,0 +1,46 @@
+#include "core/heter_aware.hpp"
+
+#include "core/allocation.hpp"
+
+namespace hgc {
+namespace {
+
+Alg1Build build_from_throughputs(const Throughputs& c, std::size_t k,
+                                 std::size_t s, Rng& rng) {
+  const auto counts = heter_aware_counts(c, k, s);
+  const auto assignment = cyclic_assignment(counts, k);
+  return build_alg1(assignment, k, s, rng);
+}
+
+Assignment assignment_from_matrix(const Matrix& b) {
+  Assignment assignment(b.rows());
+  for (std::size_t w = 0; w < b.rows(); ++w)
+    for (std::size_t j = 0; j < b.cols(); ++j)
+      if (b(w, j) != 0.0) assignment[w].push_back(j);
+  return assignment;
+}
+
+}  // namespace
+
+HeterAwareScheme::HeterAwareScheme(Alg1Build build, std::size_t s)
+    : CodingScheme(build.b, assignment_from_matrix(build.b), s),
+      code_(std::move(build.code)) {}
+
+HeterAwareScheme::HeterAwareScheme(const Throughputs& c, std::size_t k,
+                                   std::size_t s, Rng& rng)
+    : HeterAwareScheme(build_from_throughputs(c, k, s, rng), s) {}
+
+std::optional<Vector> HeterAwareScheme::decoding_coefficients(
+    const std::vector<bool>& received) const {
+  if (count_received(received) < min_results_required()) return std::nullopt;
+  if (auto fast = code_.decode(received, num_workers())) return fast;
+  return generic_decode(received);
+}
+
+std::size_t HeterAwareScheme::min_results_required() const {
+  // All active workers minus s must respond; idle (zero-load) workers never
+  // send anything, so they are excluded from the count.
+  return code_.workers().size() - stragglers_tolerated();
+}
+
+}  // namespace hgc

@@ -1,0 +1,33 @@
+#include "core/naive.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hgc {
+namespace {
+
+Assignment identity_assignment(std::size_t m) {
+  Assignment assignment(m);
+  for (std::size_t w = 0; w < m; ++w) assignment[w] = {w};
+  return assignment;
+}
+
+}  // namespace
+
+NaiveScheme::NaiveScheme(std::size_t m)
+    : CodingScheme(Matrix::identity(m), identity_assignment(m), 0) {
+  HGC_REQUIRE(m > 0, "need at least one worker");
+}
+
+std::optional<Vector> NaiveScheme::decoding_coefficients(
+    const std::vector<bool>& received) const {
+  HGC_REQUIRE(received.size() == num_workers(),
+              "received flags must have one entry per worker");
+  if (!std::all_of(received.begin(), received.end(),
+                   [](bool r) { return r; }))
+    return std::nullopt;
+  return Vector(num_workers(), 1.0);
+}
+
+}  // namespace hgc

@@ -1,0 +1,22 @@
+// The uncoded baseline: the dataset is split evenly, every worker computes
+// its own share (B = I), and the master must wait for all m results. Zero
+// redundancy, zero straggler tolerance — the paper's "Naive" scheme.
+#pragma once
+
+#include "core/coding_scheme.hpp"
+
+namespace hgc {
+
+/// Naive uncoded distribution: k = m, B = I_m, s = 0.
+class NaiveScheme : public CodingScheme {
+ public:
+  explicit NaiveScheme(std::size_t m);
+
+  std::string name() const override { return "naive"; }
+
+  /// Decodable only once every worker has responded (all coefficients 1).
+  std::optional<Vector> decoding_coefficients(
+      const std::vector<bool>& received) const override;
+};
+
+}  // namespace hgc

@@ -1,0 +1,128 @@
+#include "core/robustness.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "linalg/qr.hpp"
+#include "util/error.hpp"
+
+namespace hgc {
+
+bool ones_in_row_span(const Matrix& b, std::span<const std::size_t> rows,
+                      double tolerance) {
+  if (rows.empty()) return false;
+  const Matrix brt = b.select_rows(rows).transposed();
+  const Vector ones(b.cols(), 1.0);
+  return least_squares(brt, ones).residual <= tolerance;
+}
+
+bool satisfies_condition1(const Matrix& b, std::size_t s, double tolerance) {
+  const std::size_t m = b.rows();
+  HGC_REQUIRE(s < m, "condition 1 needs s < m");
+  // Equivalent formulation: for every straggler pattern of exactly s
+  // workers, the surviving rows span the ones vector.
+  return for_each_straggler_pattern(m, s, [&](const StragglerSet& stragglers) {
+    std::vector<std::size_t> survivors;
+    survivors.reserve(m - s);
+    std::size_t next = 0;
+    for (std::size_t w = 0; w < m; ++w) {
+      if (next < stragglers.size() && stragglers[next] == w)
+        ++next;
+      else
+        survivors.push_back(w);
+    }
+    return ones_in_row_span(b, survivors, tolerance);
+  });
+}
+
+bool for_each_straggler_pattern(
+    std::size_t m, std::size_t s,
+    const std::function<bool(const StragglerSet&)>& visit) {
+  HGC_REQUIRE(s <= m, "cannot choose more stragglers than workers");
+  StragglerSet pattern(s);
+  // Lexicographic enumeration of all C(m, s) subsets.
+  std::iota(pattern.begin(), pattern.end(), 0);
+  if (s == 0) return visit(pattern);
+  while (true) {
+    if (!visit(pattern)) return false;
+    // Advance to the next combination.
+    std::size_t i = s;
+    while (i-- > 0) {
+      if (pattern[i] != i + m - s) {
+        ++pattern[i];
+        for (std::size_t j = i + 1; j < s; ++j)
+          pattern[j] = pattern[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return true;  // wrapped: enumeration complete
+    }
+  }
+}
+
+std::optional<double> completion_time(const CodingScheme& scheme,
+                                      const Throughputs& c,
+                                      const StragglerSet& stragglers) {
+  const std::size_t m = scheme.num_workers();
+  HGC_REQUIRE(c.size() == m, "one throughput per worker");
+
+  std::vector<bool> is_straggler(m, false);
+  for (WorkerId w : stragglers) {
+    HGC_REQUIRE(w < m, "straggler id out of range");
+    is_straggler[w] = true;
+  }
+
+  // Finish times of surviving workers that actually hold data; the paper's
+  // full-straggler assumption means stragglers never arrive.
+  std::vector<std::pair<double, WorkerId>> arrivals;
+  for (std::size_t w = 0; w < m; ++w) {
+    if (is_straggler[w] || scheme.load(w) == 0) continue;
+    HGC_REQUIRE(c[w] > 0.0, "non-straggler throughput must be positive");
+    arrivals.emplace_back(static_cast<double>(scheme.load(w)) / c[w], w);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::vector<bool> received(m, false);
+  std::size_t count = 0;
+  for (const auto& [time, w] : arrivals) {
+    received[w] = true;
+    ++count;
+    if (count < scheme.min_results_required()) continue;
+    if (scheme.decoding_coefficients(received)) return time;
+  }
+  // Tail case: min_results_required can exceed the survivor count, so try
+  // one final decode with everything received.
+  if (!arrivals.empty() && scheme.decoding_coefficients(received))
+    return arrivals.back().first;
+  return std::nullopt;
+}
+
+std::optional<double> worst_case_time(const CodingScheme& scheme,
+                                      const Throughputs& c) {
+  const std::size_t s = scheme.stragglers_tolerated();
+  double worst = 0.0;
+  // Patterns with fewer than s stragglers are dominated by some s-pattern
+  // (removing a straggler can only speed decoding up), so exact-s suffices;
+  // we still include the zero-straggler case to cover s = 0 schemes.
+  const auto none = completion_time(scheme, c, {});
+  if (!none) return std::nullopt;
+  worst = *none;
+
+  const bool ok = for_each_straggler_pattern(
+      scheme.num_workers(), s, [&](const StragglerSet& pattern) {
+        const auto t = completion_time(scheme, c, pattern);
+        if (!t) return false;
+        worst = std::max(worst, *t);
+        return true;
+      });
+  if (!ok) return std::nullopt;
+  return worst;
+}
+
+double optimal_time_bound(const Throughputs& c, std::size_t k, std::size_t s) {
+  const double total = std::accumulate(c.begin(), c.end(), 0.0);
+  HGC_REQUIRE(total > 0.0, "total throughput must be positive");
+  return static_cast<double>((s + 1) * k) / total;
+}
+
+}  // namespace hgc

@@ -1,0 +1,52 @@
+// Verification utilities: Condition 1 (Lemma 1), worst-case iteration time
+// T(B) (Eq. 3), and the optimal bound of Theorem 5. These power the test
+// suite's brute-force sweeps and the benches' analytic cross-checks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "core/coding_scheme.hpp"
+#include "core/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hgc {
+
+/// Does 1_{1×k} lie in the row span of B restricted to `rows`?
+bool ones_in_row_span(const Matrix& b, std::span<const std::size_t> rows,
+                      double tolerance = 1e-8);
+
+/// Brute-force Condition 1: every (m−s)-subset of rows spans the all-ones
+/// vector. Exponential in m — intended for test-sized instances; callers
+/// should keep C(m, s) under ~10⁶.
+bool satisfies_condition1(const Matrix& b, std::size_t s,
+                          double tolerance = 1e-8);
+
+/// Visit every straggler pattern with exactly `s` stragglers; the callback
+/// receives the sorted straggler set. Returns false if the callback ever
+/// returned false (early exit), true otherwise.
+bool for_each_straggler_pattern(
+    std::size_t m, std::size_t s,
+    const std::function<bool(const StragglerSet&)>& visit);
+
+/// Completion time of the whole task for a given straggler pattern
+/// (Section III-C): the master takes results in the order of worker finish
+/// times t_i = ||b_i||_0 / c_i, skipping stragglers, and stops at the first
+/// decodable prefix. Returns the stop time, or nullopt if the survivors
+/// cannot decode at all.
+std::optional<double> completion_time(const CodingScheme& scheme,
+                                      const Throughputs& c,
+                                      const StragglerSet& stragglers);
+
+/// Worst-case completion time T(B) over all patterns with at most s
+/// stragglers (Eq. 3), evaluated by brute force. Nullopt if some pattern is
+/// undecodable (the scheme is not robust).
+std::optional<double> worst_case_time(const CodingScheme& scheme,
+                                      const Throughputs& c);
+
+/// Theorem 5's lower bound for any s-tolerant code on workers c:
+/// (s+1)·k / Σc.
+double optimal_time_bound(const Throughputs& c, std::size_t k, std::size_t s);
+
+}  // namespace hgc

@@ -1,0 +1,62 @@
+#include "core/scheme_factory.hpp"
+
+#include "core/cyclic.hpp"
+#include "core/fractional.hpp"
+#include "core/group_based.hpp"
+#include "core/heter_aware.hpp"
+#include "core/naive.hpp"
+#include "util/error.hpp"
+
+namespace hgc {
+
+SchemeKind parse_scheme_kind(const std::string& name) {
+  if (name == "naive") return SchemeKind::kNaive;
+  if (name == "cyclic") return SchemeKind::kCyclic;
+  if (name == "fractional") return SchemeKind::kFractionalRepetition;
+  if (name == "heter" || name == "heter-aware") return SchemeKind::kHeterAware;
+  if (name == "group" || name == "group-based") return SchemeKind::kGroupBased;
+  throw std::invalid_argument("unknown scheme: " + name);
+}
+
+std::string to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNaive:
+      return "naive";
+    case SchemeKind::kCyclic:
+      return "cyclic";
+    case SchemeKind::kFractionalRepetition:
+      return "fractional-repetition";
+    case SchemeKind::kHeterAware:
+      return "heter-aware";
+    case SchemeKind::kGroupBased:
+      return "group-based";
+  }
+  throw InternalError("unhandled SchemeKind");
+}
+
+std::vector<SchemeKind> paper_schemes() {
+  return {SchemeKind::kNaive, SchemeKind::kCyclic, SchemeKind::kHeterAware,
+          SchemeKind::kGroupBased};
+}
+
+std::unique_ptr<CodingScheme> make_scheme(SchemeKind kind,
+                                          const Throughputs& c, std::size_t k,
+                                          std::size_t s, Rng& rng) {
+  const std::size_t m = c.size();
+  HGC_REQUIRE(m > 0, "need at least one worker");
+  switch (kind) {
+    case SchemeKind::kNaive:
+      return std::make_unique<NaiveScheme>(m);
+    case SchemeKind::kCyclic:
+      return std::make_unique<CyclicScheme>(m, s, rng);
+    case SchemeKind::kFractionalRepetition:
+      return std::make_unique<FractionalRepetitionScheme>(m, s);
+    case SchemeKind::kHeterAware:
+      return std::make_unique<HeterAwareScheme>(c, k, s, rng);
+    case SchemeKind::kGroupBased:
+      return std::make_unique<GroupBasedScheme>(c, k, s, rng);
+  }
+  throw InternalError("unhandled SchemeKind");
+}
+
+}  // namespace hgc

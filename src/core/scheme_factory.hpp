@@ -1,0 +1,40 @@
+// Uniform construction of every scheme the evaluation compares.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coding_scheme.hpp"
+#include "util/rng.hpp"
+
+namespace hgc {
+
+/// The coding strategies evaluated in Section VI (plus fractional
+/// repetition, which the paper discusses but does not run).
+enum class SchemeKind {
+  kNaive,
+  kCyclic,
+  kFractionalRepetition,
+  kHeterAware,
+  kGroupBased,
+};
+
+/// Parse "naive" | "cyclic" | "fractional" | "heter" | "group".
+SchemeKind parse_scheme_kind(const std::string& name);
+
+std::string to_string(SchemeKind kind);
+
+/// The four schemes the paper's figures compare, in plot order.
+std::vector<SchemeKind> paper_schemes();
+
+/// Build a scheme for m = c.size() workers with throughput estimates c,
+/// k data partitions and straggler tolerance s.
+///
+/// Baselines ignore what they ignore by design: naive ignores c and s and
+/// uses k = m; cyclic and fractional repetition ignore c (uniform loads).
+std::unique_ptr<CodingScheme> make_scheme(SchemeKind kind,
+                                          const Throughputs& c, std::size_t k,
+                                          std::size_t s, Rng& rng);
+
+}  // namespace hgc

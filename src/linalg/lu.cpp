@@ -1,0 +1,91 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+namespace hgc {
+namespace {
+constexpr double kPivotTolerance = 1e-12;
+}
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  HGC_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining |entry| to the diagonal.
+    std::size_t pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double cand = std::abs(lu_(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < kPivotTolerance) {
+      singular_ = true;
+      continue;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(pivot, c), lu_(col, c));
+      std::swap(perm_[pivot], perm_[col]);
+      sign_ = -sign_;
+    }
+    const double inv_diag = 1.0 / lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) * inv_diag;
+      lu_(r, col) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col + 1; c < n; ++c)
+        lu_(r, c) -= factor * lu_(col, c);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(std::span<const double> b) const {
+  HGC_REQUIRE(b.size() == lu_.rows(), "rhs length mismatch");
+  HGC_ASSERT(!singular_, "solve() on a singular matrix");
+  const std::size_t n = lu_.rows();
+  Vector x(n);
+  // Forward substitution with the permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  HGC_REQUIRE(b.rows() == lu_.rows(), "rhs row count mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c)
+    x.set_col(c, solve(b.col(c)));
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  return solve(Matrix::identity(lu_.rows()));
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector lu_solve(Matrix a, std::span<const double> b) {
+  return LuDecomposition(std::move(a)).solve(b);
+}
+
+}  // namespace hgc

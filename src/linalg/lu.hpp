@@ -1,0 +1,42 @@
+// LU decomposition with partial pivoting.
+//
+// Alg. 1 of the paper solves C_i · d = 1 for every data partition; the
+// matrices are (s+1)×(s+1) with s small, so a dense LU is the right tool.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace hgc {
+
+/// PA = LU factorization of a square matrix; solve/det/inverse on top of it.
+class LuDecomposition {
+ public:
+  /// Factor a square matrix. Throws std::invalid_argument for non-square
+  /// input. Singularity is detected lazily: is_singular() or solve().
+  explicit LuDecomposition(Matrix a);
+
+  /// True if a pivot underflowed the singularity threshold.
+  bool is_singular() const { return singular_; }
+
+  /// Solve A·x = b. Throws hgc::InternalError if the matrix is singular.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solve A·X = B column by column.
+  Matrix solve(const Matrix& b) const;
+
+  Matrix inverse() const;
+
+  /// Determinant (product of pivots with permutation sign).
+  double determinant() const;
+
+ private:
+  Matrix lu_;                       // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;   // row permutation
+  int sign_ = 1;
+  bool singular_ = false;
+};
+
+/// Convenience wrapper: solve a single system without keeping the factors.
+Vector lu_solve(Matrix a, std::span<const double> b);
+
+}  // namespace hgc

@@ -1,0 +1,81 @@
+#include "linalg/nullspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hgc {
+
+std::vector<std::size_t> reduce_to_rref(Matrix& a, double tolerance) {
+  std::vector<std::size_t> pivots;
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < cols && pivot_row < rows; ++col) {
+    // Partial pivot within this column.
+    std::size_t best_row = pivot_row;
+    double best = std::abs(a(pivot_row, col));
+    for (std::size_t r = pivot_row + 1; r < rows; ++r) {
+      const double cand = std::abs(a(r, col));
+      if (cand > best) {
+        best = cand;
+        best_row = r;
+      }
+    }
+    if (best <= tolerance) continue;  // free column
+    if (best_row != pivot_row)
+      for (std::size_t c = 0; c < cols; ++c)
+        std::swap(a(best_row, c), a(pivot_row, c));
+
+    const double inv = 1.0 / a(pivot_row, col);
+    for (std::size_t c = 0; c < cols; ++c) a(pivot_row, c) *= inv;
+    a(pivot_row, col) = 1.0;  // kill roundoff on the pivot itself
+
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = a(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols; ++c)
+        a(r, c) -= factor * a(pivot_row, c);
+      a(r, col) = 0.0;
+    }
+    pivots.push_back(col);
+    ++pivot_row;
+  }
+  return pivots;
+}
+
+Matrix null_space_basis(const Matrix& a, double tolerance) {
+  HGC_REQUIRE(!a.empty(), "null space of an empty matrix");
+  Matrix rref = a;
+  const std::vector<std::size_t> pivots = reduce_to_rref(rref, tolerance);
+  const std::size_t cols = a.cols();
+
+  std::vector<std::size_t> free_cols;
+  {
+    std::size_t next_pivot = 0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (next_pivot < pivots.size() && pivots[next_pivot] == c)
+        ++next_pivot;
+      else
+        free_cols.push_back(c);
+    }
+  }
+
+  Matrix basis(cols, free_cols.size());
+  for (std::size_t fi = 0; fi < free_cols.size(); ++fi) {
+    const std::size_t free_col = free_cols[fi];
+    basis(free_col, fi) = 1.0;
+    // Pivot variables read off the RREF: x_pivot = -rref(row, free_col).
+    for (std::size_t pi = 0; pi < pivots.size(); ++pi)
+      basis(pivots[pi], fi) = -rref(pi, free_col);
+  }
+  return basis;
+}
+
+Vector null_space_vector(const Matrix& a, double tolerance) {
+  const Matrix basis = null_space_basis(a, tolerance);
+  if (basis.cols() == 0) return {};
+  return basis.col(0);
+}
+
+}  // namespace hgc

@@ -1,0 +1,24 @@
+// Null-space computation via Gauss-Jordan elimination.
+//
+// The fast decoding path of the paper (Section III-B / Lemma 2) needs a
+// nonzero λ with λ·C_S = 0 for the straggler columns C_S — i.e. a null-space
+// vector of C_Sᵀ. The null space is (s+1−|S|)-dimensional, so it always
+// exists when |S| ≤ s.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace hgc {
+
+/// Orthogonal-free basis of the null space of `a`: returns a matrix whose
+/// columns span {x : a·x = 0}. Empty (0 columns) when a has full column rank.
+Matrix null_space_basis(const Matrix& a, double tolerance = 1e-10);
+
+/// One nonzero null-space vector of `a`, or an empty vector when the null
+/// space is trivial.
+Vector null_space_vector(const Matrix& a, double tolerance = 1e-10);
+
+/// Reduced row-echelon form (in place); returns the pivot column indices.
+std::vector<std::size_t> reduce_to_rref(Matrix& a, double tolerance = 1e-10);
+
+}  // namespace hgc

@@ -1,0 +1,125 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hgc {
+
+ColumnPivotedQr::ColumnPivotedQr(Matrix a, double tolerance)
+    : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  HGC_REQUIRE(m > 0 && n > 0, "QR of an empty matrix");
+  const std::size_t steps = std::min(m, n);
+  beta_.assign(steps, 0.0);
+  perm_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) perm_[j] = j;
+
+  // Squared norms of the trailing part of each column, downdated per step.
+  Vector col_norms(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += qr_(i, j) * qr_(i, j);
+    col_norms[j] = acc;
+  }
+  const double scale_ref = std::sqrt(
+      *std::max_element(col_norms.begin(), col_norms.end()));
+  const double threshold = tolerance * std::max(1.0, scale_ref);
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    // Greedy pivot: column with the largest remaining norm.
+    std::size_t pivot = step;
+    for (std::size_t j = step + 1; j < n; ++j)
+      if (col_norms[j] > col_norms[pivot]) pivot = j;
+    if (pivot != step) {
+      for (std::size_t i = 0; i < m; ++i) std::swap(qr_(i, pivot), qr_(i, step));
+      std::swap(col_norms[pivot], col_norms[step]);
+      std::swap(perm_[pivot], perm_[step]);
+    }
+
+    // Householder reflector for rows step..m-1 of column step.
+    double norm_x = 0.0;
+    for (std::size_t i = step; i < m; ++i) norm_x += qr_(i, step) * qr_(i, step);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x < threshold) {
+      beta_[step] = 0.0;  // column (and all that follow) numerically zero
+      continue;
+    }
+    const double alpha = qr_(step, step) >= 0.0 ? -norm_x : norm_x;
+    const double v0 = qr_(step, step) - alpha;
+    // v = x - alpha*e1, normalized so v[0] = 1; stored below the diagonal.
+    for (std::size_t i = step + 1; i < m; ++i) qr_(i, step) /= v0;
+    beta_[step] = -v0 / alpha;
+    qr_(step, step) = alpha;
+
+    // Apply (I - beta v vᵀ) to the trailing columns.
+    for (std::size_t j = step + 1; j < n; ++j) {
+      double w = qr_(step, j);
+      for (std::size_t i = step + 1; i < m; ++i) w += qr_(i, step) * qr_(i, j);
+      w *= beta_[step];
+      qr_(step, j) -= w;
+      for (std::size_t i = step + 1; i < m; ++i)
+        qr_(i, j) -= w * qr_(i, step);
+      col_norms[j] -= qr_(step, j) * qr_(step, j);
+      col_norms[j] = std::max(col_norms[j], 0.0);
+    }
+    col_norms[step] = 0.0;
+  }
+
+  // Numerical rank: diagonal entries of R above the threshold.
+  rank_ = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    if (std::abs(qr_(i, i)) > threshold) ++rank_;
+  }
+}
+
+void ColumnPivotedQr::apply_qt(Vector& v) const {
+  const std::size_t m = qr_.rows();
+  for (std::size_t step = 0; step < beta_.size(); ++step) {
+    if (beta_[step] == 0.0) continue;
+    double w = v[step];
+    for (std::size_t i = step + 1; i < m; ++i) w += qr_(i, step) * v[i];
+    w *= beta_[step];
+    v[step] -= w;
+    for (std::size_t i = step + 1; i < m; ++i) v[i] -= w * qr_(i, step);
+  }
+}
+
+LeastSquaresResult ColumnPivotedQr::solve(std::span<const double> b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  HGC_REQUIRE(b.size() == m, "rhs length mismatch");
+
+  Vector y(b.begin(), b.end());
+  apply_qt(y);
+
+  // Back substitution on the leading rank_×rank_ block of R.
+  Vector z(rank_, 0.0);
+  for (std::size_t ii = rank_; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < rank_; ++j) acc -= qr_(ii, j) * z[j];
+    z[ii] = acc / qr_(ii, ii);
+  }
+
+  // Basic solution: pivot columns get z, free columns get zero.
+  Vector x(n, 0.0);
+  for (std::size_t j = 0; j < rank_; ++j) x[perm_[j]] = z[j];
+
+  // Residual: rows of Qᵀb not reachable by the rank columns, plus any
+  // neglected coupling R[0:r, r:] (zero here because free vars are zero).
+  double res2 = 0.0;
+  for (std::size_t i = rank_; i < m; ++i) res2 += y[i] * y[i];
+  return {std::move(x), std::sqrt(res2), rank_};
+}
+
+std::size_t matrix_rank(const Matrix& a, double tolerance) {
+  if (a.empty()) return 0;
+  return ColumnPivotedQr(a, tolerance).rank();
+}
+
+LeastSquaresResult least_squares(Matrix a, std::span<const double> b,
+                                 double tolerance) {
+  return ColumnPivotedQr(std::move(a), tolerance).solve(b);
+}
+
+}  // namespace hgc

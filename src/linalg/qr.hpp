@@ -1,0 +1,50 @@
+// Householder QR with column pivoting: rank-revealing least squares.
+//
+// The master's generic decodability test asks whether some combination of the
+// received coded gradients reconstructs the all-ones row: a least-squares
+// solve of B_Rᵀ·x = 1 followed by a residual check (Section III-B of the
+// paper). B_R can be rank-deficient (e.g. group-based codes with coefficient-1
+// rows), so the factorization must be rank revealing.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace hgc {
+
+/// Solution of min ‖A·x − b‖₂ with diagnostic residual.
+struct LeastSquaresResult {
+  Vector x;         ///< basic solution (free variables set to zero)
+  double residual;  ///< ‖A·x − b‖₂
+  std::size_t rank; ///< numerical rank of A
+};
+
+/// A·P = Q·R with Householder reflections and greedy column pivoting.
+class ColumnPivotedQr {
+ public:
+  explicit ColumnPivotedQr(Matrix a, double tolerance = 1e-10);
+
+  std::size_t rank() const { return rank_; }
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// Least-squares solve against the factored matrix.
+  LeastSquaresResult solve(std::span<const double> b) const;
+
+ private:
+  /// Apply Qᵀ to a vector in place (reflectors stored below the diagonal).
+  void apply_qt(Vector& v) const;
+
+  Matrix qr_;                      // R in the upper triangle, reflectors below
+  Vector beta_;                    // reflector scales
+  std::vector<std::size_t> perm_;  // column permutation (perm_[j] = original)
+  std::size_t rank_ = 0;
+};
+
+/// Numerical rank via column-pivoted QR.
+std::size_t matrix_rank(const Matrix& a, double tolerance = 1e-10);
+
+/// Convenience one-shot least squares.
+LeastSquaresResult least_squares(Matrix a, std::span<const double> b,
+                                 double tolerance = 1e-10);
+
+}  // namespace hgc

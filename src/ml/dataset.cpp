@@ -1,0 +1,141 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hgc {
+
+Dataset make_gaussian_classification(std::size_t n, std::size_t dim,
+                                     std::size_t classes, double separation,
+                                     Rng& rng) {
+  HGC_REQUIRE(n > 0 && dim > 0 && classes >= 2, "degenerate dataset shape");
+  HGC_REQUIRE(separation > 0.0, "separation must be positive");
+
+  // Class means: random Gaussian directions scaled to `separation`.
+  Matrix means(classes, dim);
+  for (std::size_t c = 0; c < classes; ++c) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      means(c, j) = rng.normal();
+      norm += means(c, j) * means(c, j);
+    }
+    norm = std::sqrt(norm);
+    for (std::size_t j = 0; j < dim; ++j)
+      means(c, j) *= separation / norm;
+  }
+
+  Dataset ds;
+  ds.features = Matrix(n, dim);
+  ds.labels.resize(n);
+  ds.num_classes = classes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto label = static_cast<int>(i % classes);  // balanced classes
+    ds.labels[i] = label;
+    for (std::size_t j = 0; j < dim; ++j)
+      ds.features(i, j) =
+          means(static_cast<std::size_t>(label), j) + rng.normal();
+  }
+  return ds;
+}
+
+Dataset make_synthetic_cifar10(std::size_t n, Rng& rng, std::size_t dim) {
+  return make_gaussian_classification(n, dim, 10, 2.5, rng);
+}
+
+std::vector<std::vector<std::size_t>> partition_rows(std::size_t n,
+                                                     std::size_t k) {
+  HGC_REQUIRE(k > 0, "need at least one partition");
+  HGC_REQUIRE(n >= k, "fewer rows than partitions");
+  std::vector<std::vector<std::size_t>> parts(k);
+  const std::size_t base = n / k;
+  const std::size_t extra = n % k;
+  std::size_t next = 0;
+  for (std::size_t p = 0; p < k; ++p) {
+    const std::size_t count = base + (p < extra ? 1 : 0);
+    parts[p].reserve(count);
+    for (std::size_t i = 0; i < count; ++i) parts[p].push_back(next++);
+  }
+  HGC_ASSERT(next == n, "partitioning must cover every row exactly once");
+  return parts;
+}
+
+Dataset sort_by_label(const Dataset& data) {
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return data.labels[a] < data.labels[b];
+                   });
+  Dataset sorted;
+  sorted.features = Matrix(data.size(), data.dim());
+  sorted.labels.resize(data.size());
+  sorted.num_classes = data.num_classes;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted.features.set_row(i, data.features.row(order[i]));
+    sorted.labels[i] = data.labels[order[i]];
+  }
+  return sorted;
+}
+
+std::vector<std::vector<std::size_t>> dirichlet_partition_rows(
+    const Dataset& data, std::size_t k, double alpha, Rng& rng) {
+  HGC_REQUIRE(k > 0, "need at least one partition");
+  HGC_REQUIRE(alpha > 0.0, "Dirichlet concentration must be positive");
+  HGC_REQUIRE(data.size() >= k, "fewer rows than partitions");
+
+  // Rows of each class, shuffled for tie-breaking.
+  std::vector<std::vector<std::size_t>> class_rows(data.num_classes);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    class_rows[static_cast<std::size_t>(data.labels[i])].push_back(i);
+
+  std::vector<std::vector<std::size_t>> parts(k);
+  for (auto& rows : class_rows) {
+    rng.shuffle(std::span<std::size_t>(rows));
+    // Dirichlet(alpha) via normalized Gamma draws; Gamma(alpha,1) sampled
+    // with the Marsaglia-Tsang-free fallback of summing exponentials is
+    // wrong for non-integer alpha, so use the std library's gamma.
+    std::vector<double> weights(k);
+    double total = 0.0;
+    for (double& w : weights) {
+      w = std::gamma_distribution<double>(alpha, 1.0)(rng.engine());
+      w = std::max(w, 1e-12);
+      total += w;
+    }
+    std::size_t cursor = 0;
+    for (std::size_t p = 0; p < k; ++p) {
+      const auto take = static_cast<std::size_t>(std::llround(
+          static_cast<double>(rows.size()) * weights[p] / total));
+      const std::size_t end =
+          p + 1 == k ? rows.size() : std::min(rows.size(), cursor + take);
+      for (; cursor < end; ++cursor) parts[p].push_back(rows[cursor]);
+    }
+  }
+
+  // Guarantee no empty partition: steal one row from the largest.
+  for (std::size_t p = 0; p < k; ++p) {
+    if (!parts[p].empty()) continue;
+    auto largest = std::max_element(
+        parts.begin(), parts.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    HGC_ASSERT(largest->size() > 1, "not enough rows to fill partitions");
+    parts[p].push_back(largest->back());
+    largest->pop_back();
+  }
+  for (auto& rows : parts) std::sort(rows.begin(), rows.end());
+  return parts;
+}
+
+std::vector<std::size_t> label_histogram(const Dataset& data,
+                                         std::span<const std::size_t> rows) {
+  std::vector<std::size_t> histogram(data.num_classes, 0);
+  for (std::size_t row : rows) {
+    HGC_REQUIRE(row < data.size(), "row index out of range");
+    ++histogram[static_cast<std::size_t>(data.labels[row])];
+  }
+  return histogram;
+}
+
+}  // namespace hgc

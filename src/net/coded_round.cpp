@@ -1,0 +1,75 @@
+#include "net/coded_round.hpp"
+
+#include <algorithm>
+
+#include "core/decoder.hpp"
+#include "net/wire.hpp"
+#include "util/error.hpp"
+
+namespace hgc {
+
+NetworkRoundResult run_coded_round(
+    const CodingScheme& scheme, const Cluster& cluster,
+    const IterationConditions& conditions,
+    const std::vector<Vector>& partition_gradients, SimulatedNetwork& network,
+    std::uint64_t iteration) {
+  const std::size_t m = scheme.num_workers();
+  HGC_REQUIRE(cluster.size() == m, "cluster size must match scheme workers");
+  HGC_REQUIRE(conditions.size() == m, "conditions size mismatch");
+  HGC_REQUIRE(network.nodes() >= m + 1,
+              "network needs one node per worker plus the master");
+  const NodeId master = m;
+  const std::size_t k = scheme.num_partitions();
+
+  NetworkRoundResult result;
+
+  // Worker side: compute, encode, serialize, transmit.
+  struct Arrival {
+    double time;
+    std::vector<std::byte> frame;
+  };
+  std::vector<Arrival> arrivals;
+  for (WorkerId w = 0; w < m; ++w) {
+    if (conditions.faulted[w] || scheme.load(w) == 0) continue;
+    const double rate =
+        cluster.worker(w).throughput * conditions.speed_factor[w];
+    const double share =
+        static_cast<double>(scheme.load(w)) / static_cast<double>(k);
+    const double send_time = share / rate + conditions.delay[w];
+
+    GradientMessage message;
+    message.worker = static_cast<std::uint32_t>(w);
+    message.iteration = iteration;
+    message.payload = encode_gradient(scheme, w, partition_gradients);
+    std::vector<std::byte> frame = encode_message(message);
+
+    const auto arrival =
+        network.transmit(w, master, frame.size(), send_time);
+    if (!arrival) {
+      ++result.dropped;  // lost in flight: one more silent straggler
+      continue;
+    }
+    arrivals.push_back({*arrival, std::move(frame)});
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+
+  // Master side: parse frames in arrival order, decode at the earliest
+  // sufficient set.
+  StreamingDecoder decoder(scheme);
+  for (Arrival& arrival : arrivals) {
+    GradientMessage message = decode_message(arrival.frame);
+    HGC_ASSERT(message.iteration == iteration, "cross-iteration frame");
+    decoder.add_result(message.worker, std::move(message.payload));
+    if (decoder.ready()) {
+      result.decoded = true;
+      result.time = arrival.time;
+      result.results_used = decoder.results_received();
+      result.aggregate = decoder.aggregate();
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hgc

@@ -1,0 +1,114 @@
+#include "net/wire.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace hgc {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48474331;  // "HGC1"
+constexpr std::uint16_t kVersion = 1;
+
+static_assert(std::endian::native == std::endian::little ||
+                  std::endian::native == std::endian::big,
+              "mixed-endian platforms unsupported");
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t value = i;
+      for (int bit = 0; bit < 8; ++bit)
+        value = (value >> 1) ^ ((value & 1) ? 0xedb88320u : 0u);
+      t[i] = value;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Append an unsigned integer little-endian.
+template <typename T>
+void put(std::vector<std::byte>& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    out.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xff));
+}
+
+/// Read an unsigned integer little-endian at `offset`, advancing it.
+template <typename T>
+T get(std::span<const std::byte> bytes, std::size_t& offset) {
+  if (offset + sizeof(T) > bytes.size())
+    throw WireError("frame truncated");
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    value |= static_cast<T>(static_cast<std::uint8_t>(bytes[offset + i]))
+             << (8 * i);
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes) {
+  std::uint32_t crc = 0xffffffffu;
+  for (std::byte b : bytes)
+    crc = (crc >> 8) ^
+          crc_table()[(crc ^ static_cast<std::uint8_t>(b)) & 0xff];
+  return crc ^ 0xffffffffu;
+}
+
+std::size_t frame_size(std::size_t count) {
+  return 4 + 2 + 4 + 8 + 4 + 8 * count + 4;
+}
+
+std::vector<std::byte> encode_message(const GradientMessage& message) {
+  std::vector<std::byte> out;
+  out.reserve(frame_size(message.payload.size()));
+  put<std::uint32_t>(out, kMagic);
+  put<std::uint16_t>(out, kVersion);
+  put<std::uint32_t>(out, message.worker);
+  put<std::uint64_t>(out, message.iteration);
+  HGC_REQUIRE(message.payload.size() <= 0xffffffffull, "payload too large");
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(message.payload.size()));
+  for (double v : message.payload)
+    put<std::uint64_t>(out, std::bit_cast<std::uint64_t>(v));
+  const std::uint32_t checksum =
+      crc32(std::span<const std::byte>(out.data(), out.size()));
+  put<std::uint32_t>(out, checksum);
+  return out;
+}
+
+GradientMessage decode_message(std::span<const std::byte> bytes) {
+  if (bytes.size() < frame_size(0)) throw WireError("frame too short");
+  // Verify the trailing checksum over everything before it.
+  {
+    std::size_t tail = bytes.size() - 4;
+    const std::uint32_t expected = crc32(bytes.subspan(0, tail));
+    std::size_t offset = tail;
+    const auto stored = get<std::uint32_t>(bytes, offset);
+    if (stored != expected) throw WireError("checksum mismatch");
+  }
+
+  std::size_t offset = 0;
+  if (get<std::uint32_t>(bytes, offset) != kMagic)
+    throw WireError("bad magic");
+  if (get<std::uint16_t>(bytes, offset) != kVersion)
+    throw WireError("unsupported version");
+
+  GradientMessage message;
+  message.worker = get<std::uint32_t>(bytes, offset);
+  message.iteration = get<std::uint64_t>(bytes, offset);
+  const auto count = get<std::uint32_t>(bytes, offset);
+  if (bytes.size() != frame_size(count))
+    throw WireError("frame length does not match payload count");
+  message.payload.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    message.payload[i] =
+        std::bit_cast<double>(get<std::uint64_t>(bytes, offset));
+  return message;
+}
+
+}  // namespace hgc

@@ -1,0 +1,49 @@
+// Wire format for coded-gradient messages.
+//
+// The QingCloud deployment ships coded gradients between VMs; this module is
+// the corresponding wire layer: a versioned, checksummed, little-endian
+// framing for (worker, iteration, payload) triples. Deserialization is
+// strict — truncation, bad magic, version skew, or checksum mismatch throw
+// WireError rather than returning garbage into the decoder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hgc {
+
+/// Thrown on any malformed frame.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One worker's coded result for one iteration.
+struct GradientMessage {
+  std::uint32_t worker = 0;
+  std::uint64_t iteration = 0;
+  Vector payload;
+
+  bool operator==(const GradientMessage& other) const = default;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte span.
+std::uint32_t crc32(std::span<const std::byte> bytes);
+
+/// Serialize to a self-contained frame:
+/// magic(4) version(2) worker(4) iteration(8) count(4) payload(8·count) crc(4)
+std::vector<std::byte> encode_message(const GradientMessage& message);
+
+/// Parse a frame produced by encode_message. Throws WireError on anything
+/// malformed.
+GradientMessage decode_message(std::span<const std::byte> bytes);
+
+/// Frame size in bytes for a payload of `count` doubles.
+std::size_t frame_size(std::size_t count);
+
+}  // namespace hgc

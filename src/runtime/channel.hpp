@@ -1,0 +1,52 @@
+// Minimal blocking MPSC channel for the threaded master/worker runtime.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace hgc {
+
+/// Unbounded multi-producer single-consumer queue. close() wakes all
+/// blocked receivers; receive() returns nullopt once closed and drained.
+template <typename T>
+class Channel {
+ public:
+  /// Enqueue a message; no-op after close (late worker results after
+  /// shutdown are intentionally dropped).
+  void send(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return;
+      queue_.push_back(std::move(value));
+    }
+    ready_.notify_one();
+  }
+
+  /// Block until a message or close; nullopt = closed and empty.
+  std::optional<T> receive() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hgc

@@ -1,0 +1,13 @@
+#include "runtime/loss_trace.hpp"
+
+#include <limits>
+
+namespace hgc {
+
+double LossTrace::time_to_loss(double target) const {
+  for (const TracePoint& p : points)
+    if (p.loss <= target) return p.time;
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace hgc

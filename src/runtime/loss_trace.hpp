@@ -1,0 +1,33 @@
+// Loss-vs-time traces (the series plotted in Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hgc {
+
+/// One sample of the training curve.
+struct TracePoint {
+  double time = 0.0;   ///< seconds (virtual or wall, per trainer)
+  double loss = 0.0;   ///< mean loss over the full dataset
+  std::size_t iteration = 0;
+};
+
+/// A labeled training curve.
+struct LossTrace {
+  std::string label;
+  std::vector<TracePoint> points;
+
+  double final_loss() const {
+    return points.empty() ? 0.0 : points.back().loss;
+  }
+  double total_time() const {
+    return points.empty() ? 0.0 : points.back().time;
+  }
+
+  /// Earliest time at which the loss dropped to `target`, or +inf.
+  double time_to_loss(double target) const;
+};
+
+}  // namespace hgc

@@ -1,0 +1,52 @@
+// Networked BSP training: the full deployment stack in one loop. Every
+// iteration the workers compute real partial gradients, encode, serialize to
+// checksummed wire frames, and transmit over the simulated lossy network;
+// the master parses arrivals in time order, decodes at the earliest
+// sufficient set, and steps SGD. A round that loses more results than the
+// code tolerates is *retried* (fresh transmissions, same parameters) — the
+// BSP barrier cannot proceed on a partial gradient, so retry is the only
+// sound recovery, and its cost shows up on the clock.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "cluster/straggler.hpp"
+#include "core/scheme_factory.hpp"
+#include "ml/gradient.hpp"
+#include "ml/model.hpp"
+#include "ml/sgd.hpp"
+#include "net/network.hpp"
+#include "runtime/loss_trace.hpp"
+
+namespace hgc {
+
+/// Configuration of a networked run.
+struct NetworkedTrainingConfig {
+  std::size_t iterations = 50;
+  SgdOptions sgd;
+  StragglerModel straggler_model;
+  LinkParams link;             ///< applied to every worker→master link
+  std::size_t max_round_retries = 8;
+  std::uint64_t seed = 42;
+  std::size_t record_every = 1;
+};
+
+/// Outcome of a networked run.
+struct NetworkedTrainingResult {
+  LossTrace trace;
+  Vector final_params;
+  std::size_t rounds_retried = 0;   ///< undecodable rounds that were retried
+  std::size_t rounds_abandoned = 0; ///< iterations lost to retry exhaustion
+  std::size_t messages_dropped = 0;
+  std::size_t bytes_sent = 0;
+  double final_accuracy = 0.0;
+};
+
+/// Train over the simulated network.
+NetworkedTrainingResult train_bsp_networked(
+    SchemeKind kind, const Cluster& cluster, const Model& model,
+    const Dataset& data, std::size_t k, std::size_t s,
+    const NetworkedTrainingConfig& config);
+
+}  // namespace hgc

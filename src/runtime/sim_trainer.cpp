@@ -1,0 +1,164 @@
+#include "runtime/sim_trainer.hpp"
+
+#include <algorithm>
+
+#include "core/coding_scheme.hpp"
+#include "util/error.hpp"
+
+namespace hgc {
+
+BspTrainingResult train_bsp_coded(SchemeKind kind, const Cluster& cluster,
+                                  const Model& model, const Dataset& data,
+                                  std::size_t k, std::size_t s,
+                                  const BspTrainingConfig& config) {
+  const std::size_t m = cluster.size();
+  HGC_REQUIRE(config.iterations > 0, "need at least one iteration");
+  HGC_REQUIRE(config.record_every > 0, "record_every must be positive");
+
+  Rng construction_rng(config.seed);
+  Rng estimation_rng(config.seed + 0x9e37);
+  Rng condition_rng(config.seed + 0x79b9);
+
+  const Throughputs truth = cluster.throughputs();
+  const Throughputs estimated =
+      estimate_throughputs(truth, config.estimation_sigma, estimation_rng);
+  const auto scheme = make_scheme(kind, estimated, k, s, construction_rng);
+  // Baselines choose their own partition count (naive/cyclic use k = m).
+  const std::size_t scheme_k = scheme->num_partitions();
+  const auto partitions = partition_rows(data.size(), scheme_k);
+
+  Rng init_rng(config.seed + 0x1111);
+  Vector params = model.init_params(init_rng);
+  SgdOptimizer optimizer(config.sgd, params.size());
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+
+  BspTrainingResult result;
+  result.trace.label = scheme->name();
+  double clock = 0.0;
+  result.trace.points.push_back({0.0, mean_loss(model, data, params), 0});
+
+  for (std::size_t iter = 1; iter <= config.iterations; ++iter) {
+    const IterationConditions conditions =
+        config.straggler_model.draw(m, condition_rng);
+    const IterationResult sim_result =
+        simulate_iteration(*scheme, cluster, conditions, config.sim);
+    if (!sim_result.decoded) {
+      // The iteration never completes (e.g. naive + fault): the clock would
+      // stall forever, so the run ends here.
+      ++result.failed_iterations;
+      break;
+    }
+    clock += sim_result.time;
+
+    // Real coded exchange: partition gradients -> worker encodings ->
+    // master combination with the decode-time coefficients.
+    const auto grads =
+        all_partition_gradients(model, data, partitions, params);
+    std::vector<Vector> coded(m);
+    const Vector& coefficients = *sim_result.coefficients;
+    for (WorkerId w = 0; w < m; ++w)
+      if (coefficients[w] != 0.0) coded[w] = encode_gradient(*scheme, w, grads);
+    Vector aggregate = combine_coded_gradients(coefficients, coded);
+    scale(inv_n, aggregate);  // sum over samples -> mean gradient
+    optimizer.step(params, aggregate);
+
+    if (iter % config.record_every == 0 || iter == config.iterations)
+      result.trace.points.push_back(
+          {clock, mean_loss(model, data, params), iter});
+  }
+
+  result.final_accuracy =
+      model.accuracy(data, all_rows(data.size()), params);
+  result.final_params = std::move(params);
+  return result;
+}
+
+BspTrainingResult train_bsp_ignore_stragglers(
+    const Cluster& cluster, const Model& model, const Dataset& data,
+    std::size_t s, const BspTrainingConfig& config) {
+  const std::size_t m = cluster.size();
+  HGC_REQUIRE(s < m, "cannot ignore as many workers as exist");
+  const auto shards = partition_rows(data.size(), m);
+
+  Rng condition_rng(config.seed + 0x79b9);
+  Rng init_rng(config.seed + 0x1111);
+  Vector params = model.init_params(init_rng);
+  SgdOptimizer optimizer(config.sgd, params.size());
+
+  BspTrainingResult result;
+  result.trace.label = "ignore-stragglers";
+  double clock = 0.0;
+  result.trace.points.push_back({0.0, mean_loss(model, data, params), 0});
+
+  for (std::size_t iter = 1; iter <= config.iterations; ++iter) {
+    const IterationConditions conditions =
+        config.straggler_model.draw(m, condition_rng);
+
+    // Uncoded even allocation: worker w computes its shard and arrives at
+    // share/rate + delay; the master takes the first m−s arrivals.
+    std::vector<std::pair<double, WorkerId>> arrivals;
+    for (WorkerId w = 0; w < m; ++w) {
+      if (conditions.faulted[w]) continue;
+      const double rate =
+          cluster.worker(w).throughput * conditions.speed_factor[w];
+      const double share = static_cast<double>(shards[w].size()) /
+                           static_cast<double>(data.size());
+      arrivals.emplace_back(
+          share / rate + conditions.delay[w] + config.sim.comm_latency, w);
+    }
+    if (arrivals.size() < m - s) {
+      ++result.failed_iterations;  // more faults than the ignore budget
+      break;
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    arrivals.resize(m - s);
+    clock += arrivals.back().first;
+
+    // Biased update: gradient over the covered rows only, rescaled to a
+    // per-sample mean (the bias: missing shards contribute nothing).
+    Vector grad(model.num_params(), 0.0);
+    std::size_t covered = 0;
+    for (const auto& [at, w] : arrivals) {
+      (void)at;
+      model.loss_and_gradient(data, shards[w], params, grad);
+      covered += shards[w].size();
+    }
+    scale(1.0 / static_cast<double>(covered), grad);
+    optimizer.step(params, grad);
+
+    if (iter % config.record_every == 0 || iter == config.iterations)
+      result.trace.points.push_back(
+          {clock, mean_loss(model, data, params), iter});
+  }
+
+  result.final_accuracy =
+      model.accuracy(data, all_rows(data.size()), params);
+  result.final_params = std::move(params);
+  return result;
+}
+
+BspTrainingResult train_serial(const Model& model, const Dataset& data,
+                               const BspTrainingConfig& config) {
+  Rng init_rng(config.seed + 0x1111);
+  Vector params = model.init_params(init_rng);
+  SgdOptimizer optimizer(config.sgd, params.size());
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+
+  BspTrainingResult result;
+  result.trace.label = "serial";
+  result.trace.points.push_back({0.0, mean_loss(model, data, params), 0});
+  for (std::size_t iter = 1; iter <= config.iterations; ++iter) {
+    Vector grad = full_gradient(model, data, params);
+    scale(inv_n, grad);
+    optimizer.step(params, grad);
+    if (iter % config.record_every == 0 || iter == config.iterations)
+      result.trace.points.push_back(
+          {static_cast<double>(iter), mean_loss(model, data, params), iter});
+  }
+  result.final_accuracy =
+      model.accuracy(data, all_rows(data.size()), params);
+  result.final_params = std::move(params);
+  return result;
+}
+
+}  // namespace hgc

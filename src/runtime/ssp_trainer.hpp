@@ -1,0 +1,65 @@
+// Stale Synchronous Parallel (SSP) baseline for Fig. 4.
+//
+// The paper compares its BSP coded schemes against SSP [17] on heterogeneous
+// clusters and observes two failure modes we reproduce: (1) with a bounded
+// staleness threshold, fast workers block on the slowest worker's clock
+// almost every step, collapsing toward BSP synchronization cost; (2) the
+// parameter server receives unbalanced contributions (fast workers push many
+// more updates about their own shards), hurting convergence.
+//
+// The trainer is an event-driven simulation with real gradient computations:
+// each worker repeatedly pulls the current parameters, computes the gradient
+// of its own data shard (time drawn from its throughput and fluctuation),
+// pushes an update, and may only run ahead of the slowest worker by
+// `staleness` clocks.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "cluster/straggler.hpp"
+#include "ml/gradient.hpp"
+#include "ml/model.hpp"
+#include "runtime/loss_trace.hpp"
+
+namespace hgc {
+
+/// SSP hyperparameters.
+struct SspTrainingConfig {
+  /// Staleness bound: a worker at clock c blocks until c − min_clock ≤ this.
+  std::size_t staleness = 3;
+  /// Per-update learning rate; scaled by 1/m so that m pushes approximate
+  /// one full-batch BSP step.
+  double learning_rate = 0.1;
+  /// Total update budget expressed in "epoch equivalents": the run stops
+  /// after iterations·m worker pushes, matching the gradient work of the
+  /// same number of BSP iterations.
+  std::size_t iterations = 100;
+  StragglerModel straggler_model;
+  double comm_latency = 0.0;
+  std::uint64_t seed = 42;
+  std::size_t record_every = 1;  ///< trace sampling stride, in epochs
+  /// Optional explicit data shards (one per worker); empty = contiguous even
+  /// split. Use dirichlet_partition_rows / sort_by_label to study SSP under
+  /// non-IID data (unbalanced contributions, the paper's Fig. 4 argument).
+  std::vector<std::vector<std::size_t>> shards;
+};
+
+/// Outcome of an SSP run.
+struct SspTrainingResult {
+  LossTrace trace;
+  Vector final_params;
+  double final_accuracy = 0.0;
+  /// Mean over time of (max clock − min clock): how unevenly workers
+  /// progressed; large values = heavy staleness pressure.
+  double mean_clock_spread = 0.0;
+  /// Fraction of scheduling decisions where a worker was staleness-blocked.
+  double blocked_fraction = 0.0;
+};
+
+/// Run SSP on `cluster`, sharding `data` evenly across workers.
+SspTrainingResult train_ssp(const Cluster& cluster, const Model& model,
+                            const Dataset& data,
+                            const SspTrainingConfig& config);
+
+}  // namespace hgc

@@ -1,0 +1,70 @@
+// Adaptive coded execution: close the estimate → allocate → observe loop.
+//
+// The paper constructs its code once from sampled throughputs. This module
+// adds the operational layer a deployment needs: start from *no knowledge*
+// (uniform estimates), observe per-iteration compute times, update an EWMA
+// estimator, and periodically rebuild the heterogeneity-aware code when the
+// estimates have drifted past a threshold. Handles both cold start (learning
+// the cluster's heterogeneity from scratch) and drift (a worker permanently
+// slowing mid-run, e.g. a noisy neighbor).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/estimator.hpp"
+#include "cluster/straggler.hpp"
+#include "core/scheme_factory.hpp"
+#include "sim/iteration.hpp"
+#include "util/stats.hpp"
+
+namespace hgc {
+
+/// A permanent mid-run change to one worker's true speed.
+struct DriftEvent {
+  std::size_t at_iteration = 0;  ///< 0 = no drift
+  WorkerId worker = 0;
+  double factor = 1.0;  ///< multiplies the worker's true throughput
+};
+
+/// Configuration of an adaptive run.
+struct AdaptiveConfig {
+  std::size_t iterations = 300;
+  std::size_t s = 1;
+  std::size_t k = 0;  ///< 0 = 2m
+  SchemeKind kind = SchemeKind::kHeterAware;
+  /// Re-examine the estimates every this many iterations (0 = never, i.e. a
+  /// static scheme built from the initial estimates).
+  std::size_t recode_every = 20;
+  /// Rebuild only if estimates deviate from the ones the current scheme was
+  /// built with by more than this relative amount.
+  double recode_threshold = 0.10;
+  double ewma_smoothing = 0.25;
+  /// Initial throughput estimates; empty = uniform (cold start).
+  Throughputs initial_estimates;
+  StragglerModel model;
+  SimParams sim;
+  DriftEvent drift;
+  std::uint64_t seed = 42;
+};
+
+/// Outcome of an adaptive run.
+struct AdaptiveResult {
+  std::vector<double> iteration_times;  ///< +inf where undecodable
+  RunningStats overall;                 ///< decodable iterations only
+  std::size_t recodes = 0;              ///< scheme rebuilds performed
+  std::size_t failures = 0;
+  Throughputs final_estimates;
+
+  /// Mean iteration time over [begin, end) of the run (skips failures).
+  double window_mean(std::size_t begin, std::size_t end) const;
+};
+
+/// Run the adaptive executor on `cluster` (true speeds, unknown to the
+/// master). With recode_every = 0 this measures the static baseline under
+/// identical conditions.
+AdaptiveResult run_adaptive(const Cluster& cluster,
+                            const AdaptiveConfig& config);
+
+}  // namespace hgc

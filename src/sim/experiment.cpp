@@ -1,0 +1,81 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hgc {
+
+std::size_t resolve_partitions(const ExperimentConfig& config,
+                               std::size_t num_workers) {
+  return config.k == 0 ? 2 * num_workers : config.k;
+}
+
+std::size_t exact_partition_count(const Cluster& cluster, std::size_t s,
+                                  std::size_t max_k) {
+  const Throughputs c = cluster.throughputs();
+  const double total = cluster.total_throughput();
+  for (std::size_t k = cluster.size(); k <= max_k; ++k) {
+    bool integral = true;
+    for (double ci : c) {
+      const double share =
+          static_cast<double>(k * (s + 1)) * ci / total;
+      if (std::abs(share - std::round(share)) > 1e-9 || share > k + 1e-9) {
+        integral = false;
+        break;
+      }
+    }
+    if (integral) return k;
+  }
+  return 2 * cluster.size();
+}
+
+SchemeSummary run_experiment(SchemeKind kind, const Cluster& cluster,
+                             const ExperimentConfig& config) {
+  HGC_REQUIRE(config.iterations > 0, "need at least one iteration");
+  const std::size_t m = cluster.size();
+  const std::size_t k = resolve_partitions(config, m);
+
+  // Three independent, seed-derived streams so that (a) per-iteration
+  // conditions are identical across schemes, (b) construction randomness and
+  // estimation noise do not perturb the condition stream.
+  Rng construction_rng(config.seed);
+  Rng estimation_rng(config.seed + 0x9e37);
+  Rng condition_rng(config.seed + 0x79b9);
+
+  const Throughputs truth = cluster.throughputs();
+  const Throughputs estimated =
+      estimate_throughputs(truth, config.estimation_sigma, estimation_rng);
+  const auto scheme =
+      make_scheme(kind, estimated, k, config.s, construction_rng);
+
+  SchemeSummary summary;
+  summary.scheme = scheme->name();
+  summary.iterations = config.iterations;
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const IterationConditions conditions = config.model.draw(m, condition_rng);
+    const IterationResult result =
+        simulate_iteration(*scheme, cluster, conditions, config.sim);
+    if (!result.decoded) {
+      ++summary.failures;
+      continue;
+    }
+    summary.iteration_time.add(result.time);
+    summary.resource_usage.add(result.resource_usage);
+  }
+  return summary;
+}
+
+std::vector<SchemeSummary> compare_schemes(
+    const std::vector<SchemeKind>& kinds, const Cluster& cluster,
+    const ExperimentConfig& config) {
+  std::vector<SchemeSummary> summaries;
+  summaries.reserve(kinds.size());
+  // run_experiment reseeds its streams from config.seed, so every scheme
+  // replays the same straggler victims and fluctuations.
+  for (SchemeKind kind : kinds)
+    summaries.push_back(run_experiment(kind, cluster, config));
+  return summaries;
+}
+
+}  // namespace hgc

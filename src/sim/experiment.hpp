@@ -1,0 +1,67 @@
+// Multi-iteration experiment harness: builds a scheme from (possibly noisy)
+// throughput estimates, replays many iterations under a straggler model, and
+// aggregates the metrics the paper's figures report. Fairness contract: when
+// comparing schemes, every scheme sees the *same* per-iteration conditions
+// (same victims, same fluctuations), achieved by drawing conditions from a
+// dedicated RNG stream reset per scheme.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/straggler.hpp"
+#include "core/scheme_factory.hpp"
+#include "sim/iteration.hpp"
+#include "util/stats.hpp"
+
+namespace hgc {
+
+/// Everything that defines one experiment cell (one bar/point in a figure).
+struct ExperimentConfig {
+  std::size_t k = 0;  ///< partitions for heterogeneity-aware schemes; 0 = 2m
+  std::size_t s = 1;  ///< provisioned straggler tolerance
+  StragglerModel model;
+  /// Throughput-estimation error σ (Section V motivation); 0 = exact.
+  double estimation_sigma = 0.0;
+  std::size_t iterations = 300;
+  std::uint64_t seed = 42;
+  SimParams sim;
+};
+
+/// Aggregated outcome of an experiment cell for one scheme.
+struct SchemeSummary {
+  std::string scheme;
+  RunningStats iteration_time;  ///< decoded iterations only
+  RunningStats resource_usage;
+  std::size_t failures = 0;     ///< iterations that could not decode
+  std::size_t iterations = 0;
+
+  double mean_time() const { return iteration_time.mean(); }
+  double mean_usage() const { return resource_usage.mean(); }
+  bool ever_failed() const { return failures > 0; }
+};
+
+/// Run one scheme through the experiment.
+SchemeSummary run_experiment(SchemeKind kind, const Cluster& cluster,
+                             const ExperimentConfig& config);
+
+/// Run several schemes under identical per-iteration conditions.
+std::vector<SchemeSummary> compare_schemes(
+    const std::vector<SchemeKind>& kinds, const Cluster& cluster,
+    const ExperimentConfig& config);
+
+/// Resolve the partition-count default (k = 2m when config.k == 0).
+std::size_t resolve_partitions(const ExperimentConfig& config,
+                               std::size_t num_workers);
+
+/// Smallest k in [m, max_k] for which the Eq. 5 allocation is exactly
+/// integral on this cluster (every worker's ideal share k(s+1)c_i/Σc is a
+/// whole number), so heter-aware lands exactly on the Theorem 5 optimum.
+/// Falls back to 2m when no such k exists in range. For Table II clusters
+/// with s = 1 this returns Σc/2 (24, 58, 161, 324 for A–D).
+std::size_t exact_partition_count(const Cluster& cluster, std::size_t s,
+                                  std::size_t max_k = 2048);
+
+}  // namespace hgc

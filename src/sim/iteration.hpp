@@ -1,0 +1,58 @@
+// Single-iteration discrete-event simulation of the master/worker protocol.
+//
+// Workers start computing at t = 0. Worker w holding load(w) of the k
+// partitions finishes computing at (load/k) / (throughput·speed_factor),
+// then its coded result reaches the master after its injected delay plus the
+// communication latency. The master processes arrivals in time order and
+// stops at the first decodable prefix — exactly the T(B, S) semantics of
+// Section III-C generalized to delayed (not just full) stragglers.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/straggler.hpp"
+#include "core/coding_scheme.hpp"
+
+namespace hgc {
+
+/// Knobs that are properties of the platform rather than the scheme.
+struct SimParams {
+  /// Fixed result-transfer latency (seconds) added to every arrival.
+  double comm_latency = 0.0;
+};
+
+/// Outcome of one simulated iteration.
+struct IterationResult {
+  bool decoded = false;
+  /// Master decode time (seconds); +inf when the iteration cannot complete
+  /// (e.g. naive scheme with a faulted worker).
+  double time = std::numeric_limits<double>::infinity();
+  /// Results that had arrived when decoding succeeded.
+  std::size_t results_used = 0;
+  /// Fig. 5 metric: Σ busy_i / (m · T). A worker is busy while computing
+  /// (waiting in a delay queue is not busy); faulted workers contribute 0;
+  /// workers still computing at T are clipped to T.
+  double resource_usage = 0.0;
+  /// Decoding coefficients at the stop time (supp ⊆ arrived workers,
+  /// a·B = 1); trainers combine real coded gradients with them.
+  std::optional<Vector> coefficients;
+  /// Per-worker pure compute durations this iteration (+inf for faulted or
+  /// idle workers); feeds online throughput estimation.
+  std::vector<double> compute_times;
+};
+
+/// Simulate one iteration of `scheme` on `cluster` under `conditions`.
+IterationResult simulate_iteration(const CodingScheme& scheme,
+                                   const Cluster& cluster,
+                                   const IterationConditions& conditions,
+                                   const SimParams& params = {});
+
+/// The balanced-optimum iteration time (s+1)/Σw of Theorem 5 translated to
+/// cluster units (datasets/second); what heter-aware achieves with exact
+/// estimates and no noise.
+double ideal_iteration_time(const Cluster& cluster, std::size_t s);
+
+}  // namespace hgc

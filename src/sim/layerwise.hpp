@@ -1,0 +1,53 @@
+// Layer-wise coded gradients — the extension sketched in the paper's
+// conclusion ("still half of resource is idle due to communication overhead
+// … this can be solved by combined techniques proposed by [42] that code
+// gradients layer by layer", i.e. Poseidon-style compute/communication
+// overlap).
+//
+// Model: the gradient splits into L layers with work/size fractions f_l
+// (backprop produces them sequentially). A worker finishing layer l encodes
+// and ships it immediately while computing layer l+1, so transfer of early
+// layers hides behind compute of later ones. The master decodes each layer
+// independently (all layers share the same coding matrix B); the iteration
+// completes when the last layer decodes. Monolithic coding is the L = 1
+// special case.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/straggler.hpp"
+#include "core/coding_scheme.hpp"
+#include "sim/iteration.hpp"
+
+namespace hgc {
+
+/// Communication/layering knobs for the pipelined simulation.
+struct LayerwiseParams {
+  /// Work & size fraction of each layer; must sum to ~1. Empty = {1.0}
+  /// (monolithic).
+  std::vector<double> layer_fractions;
+  /// Per-message fixed latency (seconds); paid once per layer message.
+  double per_message_latency = 0.0;
+  /// Seconds to transfer one *full* coded gradient; a layer costs its
+  /// fraction of this.
+  double full_transfer_time = 0.0;
+};
+
+/// Outcome of a pipelined iteration.
+struct LayerwiseResult {
+  bool decoded = false;
+  double time = 0.0;               ///< last layer's decode time
+  std::vector<double> layer_times; ///< decode time per layer
+};
+
+/// Simulate one iteration with layer-wise coded sends.
+LayerwiseResult simulate_layerwise_iteration(const CodingScheme& scheme,
+                                             const Cluster& cluster,
+                                             const IterationConditions& cond,
+                                             const LayerwiseParams& params);
+
+/// Equal layer fractions helper.
+std::vector<double> equal_layers(std::size_t count);
+
+}  // namespace hgc

@@ -1,0 +1,71 @@
+#include "util/args.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace hgc {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    HGC_REQUIRE(token.rfind("--", 0) == 0,
+                "options must start with --, got: " + token);
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";  // bare flag
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  queried_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const std::string raw = get(key, "");
+  if (raw.empty()) return fallback;
+  return std::stoll(raw);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const std::string raw = get(key, "");
+  if (raw.empty()) return fallback;
+  return std::stod(raw);
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const std::string raw = get(key, "");
+  if (raw.empty()) return fallback;
+  if (raw == "true" || raw == "1" || raw == "yes") return true;
+  if (raw == "false" || raw == "0" || raw == "no") return false;
+  throw std::invalid_argument("not a boolean: --" + key + "=" + raw);
+}
+
+void Args::check_unused() const {
+  std::ostringstream unknown;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (queried_.count(key) == 0) unknown << " --" << key;
+  }
+  const std::string list = unknown.str();
+  if (!list.empty())
+    throw std::invalid_argument("unrecognized options:" + list);
+}
+
+}  // namespace hgc

@@ -1,0 +1,35 @@
+// Minimal command-line parsing for the bench and example binaries.
+//
+// Supports `--key value` and `--key=value` pairs plus boolean `--flag`.
+// Unrecognized keys raise an error so sweep scripts fail loudly on typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace hgc {
+
+/// Parsed command-line options with typed, defaulted accessors.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Throws std::invalid_argument if any provided key was never queried;
+  /// call after all get()s to catch misspelled options.
+  void check_unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> queried_;
+};
+
+}  // namespace hgc

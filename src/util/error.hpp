@@ -1,0 +1,61 @@
+// Error-handling helpers.
+//
+// Public-API precondition violations throw std::invalid_argument (callers can
+// recover); broken internal invariants throw hgc::InternalError (they cannot).
+// Both macros capture the failing expression and location so failures in
+// simulations and property sweeps are diagnosable without a debugger.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hgc {
+
+/// Thrown when an internal invariant is violated; indicates a library bug.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a gradient cannot be recovered from the surviving workers
+/// (more stragglers than the scheme was provisioned for).
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_internal(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace hgc
+
+/// Validate a caller-supplied argument; throws std::invalid_argument.
+#define HGC_REQUIRE(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::hgc::detail::throw_invalid(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+/// Validate an internal invariant; throws hgc::InternalError.
+#define HGC_ASSERT(expr, msg)                                           \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::hgc::detail::throw_internal(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)

@@ -1,0 +1,35 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace hgc {
+
+double Rng::truncated_normal(double mean, double stddev, double lo,
+                             double hi) {
+  HGC_REQUIRE(lo <= hi, "truncated_normal bounds must satisfy lo <= hi");
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t count) {
+  HGC_REQUIRE(count <= n, "cannot sample more elements than the population");
+  // Partial Fisher-Yates: O(n) memory but exact uniformity; n here is a
+  // worker count (tens), so simplicity beats a reservoir.
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace hgc

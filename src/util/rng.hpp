@@ -1,0 +1,98 @@
+// Deterministic random-number generation.
+//
+// All stochastic components (random coding matrix C, runtime fluctuation,
+// straggler selection, synthetic datasets) draw from hgc::Rng so that every
+// experiment is reproducible from a single seed. Rng::fork() derives an
+// independent stream, letting parallel components stay deterministic
+// regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hgc {
+
+/// Seeded pseudo-random generator with convenience draws used across the
+/// library. Wraps std::mt19937_64; copyable and cheap to fork.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed), seed_(seed) {}
+
+  /// Derive an independent child stream. Successive calls yield distinct
+  /// streams; the parent advances deterministically.
+  Rng fork() {
+    // splitmix64 of the next raw draw decorrelates child seeds even for
+    // consecutive parent states.
+    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Uniform double in the open interval (lo, hi); never returns lo exactly,
+  /// which Alg.1 relies on (entries of C must be nonzero).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    HGC_REQUIRE(lo < hi, "uniform bounds must satisfy lo < hi");
+    double u;
+    do {
+      u = std::uniform_real_distribution<double>(lo, hi)(engine_);
+    } while (u == lo);
+    return u;
+  }
+
+  /// Gaussian draw.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Gaussian truncated to [lo, hi] by resampling (clamps after 64 tries so
+  /// pathological bounds cannot hang a simulation).
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    HGC_REQUIRE(lo <= hi, "uniform_int bounds must satisfy lo <= hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential draw with the given rate (lambda).
+  double exponential(double rate) {
+    HGC_REQUIRE(rate > 0.0, "exponential rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool bernoulli(double p) {
+    HGC_REQUIRE(p >= 0.0 && p <= 1.0, "probability must be in [0,1]");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Choose `count` distinct indices from [0, n) uniformly at random.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t count);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hgc

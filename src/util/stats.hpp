@@ -1,0 +1,51 @@
+// Small descriptive-statistics helpers used by the simulator and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hgc {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm), used to
+/// aggregate per-iteration metrics without storing every sample.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation; 0 with fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100]. Copies and sorts.
+double percentile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Sum with Kahan compensation (iteration-time totals accumulate millions of
+/// small terms in long sweeps).
+double kahan_sum(std::span<const double> xs);
+
+}  // namespace hgc

@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hgc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HGC_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  HGC_REQUIRE(cells.size() == headers_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-');
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace hgc

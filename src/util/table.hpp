@@ -1,0 +1,34 @@
+// Fixed-width console tables.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; TablePrinter keeps that output aligned and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hgc {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column separators and a header rule.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format helper: fixed-point double with the given precision.
+  static std::string num(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hgc

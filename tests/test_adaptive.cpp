@@ -1,0 +1,143 @@
+// Tests for online throughput estimation and adaptive re-coding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/estimator.hpp"
+#include "sim/adaptive.hpp"
+
+namespace hgc {
+namespace {
+
+TEST(ThroughputEstimator, FirstObservationReplacesPrior) {
+  ThroughputEstimator est({1.0, 1.0}, 0.2);
+  est.observe(0, 0.5, 0.125);  // 4 datasets/s
+  EXPECT_DOUBLE_EQ(est.estimates()[0], 4.0);
+  EXPECT_DOUBLE_EQ(est.estimates()[1], 1.0);
+  EXPECT_EQ(est.observations(0), 1u);
+  EXPECT_EQ(est.observations(1), 0u);
+}
+
+TEST(ThroughputEstimator, EwmaConvergesToTrueRate) {
+  ThroughputEstimator est({1.0}, 0.3);
+  for (int i = 0; i < 50; ++i) est.observe(0, 0.1, 0.1 / 8.0);  // 8/s
+  EXPECT_NEAR(est.estimates()[0], 8.0, 1e-6);
+}
+
+TEST(ThroughputEstimator, IgnoresUnusableSamples) {
+  ThroughputEstimator est({2.0}, 0.5);
+  est.observe(0, 0.0, 1.0);
+  est.observe(0, 0.1, 0.0);
+  est.observe(0, 0.1, std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(est.estimates()[0], 2.0);
+  EXPECT_EQ(est.observations(0), 0u);
+}
+
+TEST(ThroughputEstimator, RelativeDeviation) {
+  ThroughputEstimator est({2.0, 4.0}, 0.5);
+  EXPECT_DOUBLE_EQ(est.relative_deviation({2.0, 4.0}), 0.0);
+  EXPECT_NEAR(est.relative_deviation({1.0, 4.0}), 1.0, 1e-12);  // 2 vs 1
+  EXPECT_NEAR(est.relative_deviation({2.0, 5.0}), 0.2, 1e-12);
+}
+
+TEST(ThroughputEstimator, RejectsBadConstruction) {
+  EXPECT_THROW(ThroughputEstimator({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(ThroughputEstimator({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputEstimator({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(ThroughputEstimator({-1.0}, 0.5), std::invalid_argument);
+}
+
+TEST(Adaptive, ColdStartLearnsHeterogeneity) {
+  // Master starts believing all workers are equal (a cyclic-like code) and
+  // must converge to near-optimal via telemetry alone.
+  const Cluster cluster = cluster_a();
+  AdaptiveConfig config;
+  config.iterations = 200;
+  config.k = 48;
+  config.recode_every = 10;
+  const auto result = run_adaptive(cluster, config);
+
+  EXPECT_GT(result.recodes, 0u);
+  EXPECT_EQ(result.failures, 0u);
+  const double early = result.window_mean(0, 10);
+  const double late = result.window_mean(150, 200);
+  EXPECT_LT(late, 0.6 * early);  // large win once loads match speeds
+  // Converged near the true optimum.
+  EXPECT_NEAR(late, ideal_iteration_time(cluster, 1), 0.15 * early);
+  // Estimates ended close to truth (relative error under 10%).
+  const Throughputs truth = cluster.throughputs();
+  for (std::size_t w = 0; w < truth.size(); ++w)
+    EXPECT_NEAR(result.final_estimates[w] / truth[w], 1.0, 0.1)
+        << "worker " << w;
+}
+
+TEST(Adaptive, StaticSchemeNeverRecodes) {
+  const Cluster cluster = cluster_a();
+  AdaptiveConfig config;
+  config.iterations = 50;
+  config.recode_every = 0;
+  const auto result = run_adaptive(cluster, config);
+  EXPECT_EQ(result.recodes, 0u);
+}
+
+TEST(Adaptive, RecoversFromDrift) {
+  // A fast worker permanently slows 4× mid-run *while transient stragglers
+  // keep occurring*. The static scheme must burn its straggler budget on
+  // the drifted worker every iteration, so the transient victim's delay
+  // surfaces; re-coding rebalances the drifted worker back into the fold
+  // and keeps the budget for the transients. (Without transient noise,
+  // straggler tolerance alone absorbs a single drifted worker — adaptive
+  // only pays off once the budget is contended, which is the realistic
+  // regime.)
+  const Cluster cluster = cluster_a();
+  AdaptiveConfig config;
+  config.iterations = 300;
+  config.k = 48;
+  config.initial_estimates = cluster.throughputs();  // warm start
+  config.model.num_stragglers = 1;
+  config.model.delay_seconds = 4.0 * ideal_iteration_time(cluster, 1);
+  config.drift.at_iteration = 100;
+  config.drift.worker = 7;  // the 12-vCPU machine
+  config.drift.factor = 0.25;
+
+  AdaptiveConfig static_config = config;
+  static_config.recode_every = 0;
+
+  const auto adaptive = run_adaptive(cluster, config);
+  const auto fixed = run_adaptive(cluster, static_config);
+
+  // Before drift both run near the optimum.
+  EXPECT_NEAR(adaptive.window_mean(0, 100), fixed.window_mean(0, 100),
+              0.2 * fixed.window_mean(0, 100));
+  // After settling, adaptive clearly beats static.
+  const double adaptive_late = adaptive.window_mean(200, 300);
+  const double fixed_late = fixed.window_mean(200, 300);
+  EXPECT_LT(adaptive_late, 0.8 * fixed_late);
+  EXPECT_GT(adaptive.recodes, 0u);
+}
+
+TEST(Adaptive, ThresholdSuppressesNeedlessRecodes) {
+  // Warm start with exact estimates and no drift: deviations stay below the
+  // threshold, so no recode should ever fire.
+  const Cluster cluster = cluster_a();
+  AdaptiveConfig config;
+  config.iterations = 100;
+  config.initial_estimates = cluster.throughputs();
+  config.recode_threshold = 0.10;
+  config.model.fluctuation_sigma = 0.02;
+  const auto result = run_adaptive(cluster, config);
+  EXPECT_EQ(result.recodes, 0u);
+}
+
+TEST(Adaptive, WindowMeanValidation) {
+  const Cluster cluster = cluster_a();
+  AdaptiveConfig config;
+  config.iterations = 10;
+  const auto result = run_adaptive(cluster, config);
+  EXPECT_THROW(result.window_mean(5, 3), std::invalid_argument);
+  EXPECT_THROW(result.window_mean(0, 11), std::invalid_argument);
+  EXPECT_GT(result.window_mean(0, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace hgc

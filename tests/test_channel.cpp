@@ -1,0 +1,100 @@
+// Unit tests for the MPSC channel underpinning the threaded runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/channel.hpp"
+
+namespace hgc {
+namespace {
+
+TEST(Channel, FifoWithinSingleProducer) {
+  Channel<int> channel;
+  for (int i = 0; i < 10; ++i) channel.send(i);
+  for (int i = 0; i < 10; ++i) {
+    const auto value = channel.receive();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+}
+
+TEST(Channel, ReceiveBlocksUntilSend) {
+  Channel<int> channel;
+  std::atomic<bool> received{false};
+  std::thread consumer([&] {
+    const auto value = channel.receive();
+    EXPECT_TRUE(value.has_value());
+    EXPECT_EQ(*value, 42);
+    received = true;
+  });
+  // Give the consumer a moment to block, then unblock it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(received.load());
+  channel.send(42);
+  consumer.join();
+  EXPECT_TRUE(received.load());
+}
+
+TEST(Channel, CloseWakesBlockedReceiver) {
+  Channel<int> channel;
+  std::thread consumer([&] {
+    const auto value = channel.receive();
+    EXPECT_FALSE(value.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  channel.close();
+  consumer.join();
+}
+
+TEST(Channel, DrainsQueuedMessagesAfterClose) {
+  Channel<int> channel;
+  channel.send(1);
+  channel.send(2);
+  channel.close();
+  EXPECT_EQ(channel.receive(), std::optional<int>(1));
+  EXPECT_EQ(channel.receive(), std::optional<int>(2));
+  EXPECT_FALSE(channel.receive().has_value());
+}
+
+TEST(Channel, SendAfterCloseIsDropped) {
+  Channel<int> channel;
+  channel.close();
+  channel.send(7);  // no-op by contract (late straggler results)
+  EXPECT_FALSE(channel.receive().has_value());
+}
+
+TEST(Channel, ManyProducersAllMessagesArrive) {
+  Channel<int> channel;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&channel, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        channel.send(p * kPerProducer + i);
+    });
+
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int received = 0; received < kProducers * kPerProducer; ++received) {
+    const auto value = channel.receive();
+    ASSERT_TRUE(value.has_value());
+    ASSERT_GE(*value, 0);
+    ASSERT_LT(*value, kProducers * kPerProducer);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(*value)]) << "duplicate";
+    seen[static_cast<std::size_t>(*value)] = true;
+  }
+  for (std::thread& t : producers) t.join();
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Channel, MoveOnlyPayloads) {
+  Channel<std::unique_ptr<int>> channel;
+  channel.send(std::make_unique<int>(5));
+  auto value = channel.receive();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(**value, 5);
+}
+
+}  // namespace
+}  // namespace hgc

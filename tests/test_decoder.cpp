@@ -1,0 +1,167 @@
+// Tests for the decoding-matrix builder (Eq. 2) and the streaming decoder.
+#include <gtest/gtest.h>
+
+#include "core/decoder.hpp"
+#include "core/heter_aware.hpp"
+#include "core/naive.hpp"
+#include "core/robustness.hpp"
+#include "util/rng.hpp"
+
+namespace hgc {
+namespace {
+
+TEST(DecodingMatrix, OneRowPerPattern) {
+  Rng rng(51);
+  HeterAwareScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  const auto rows = build_decoding_matrix(scheme);
+  EXPECT_EQ(rows.size(), 5u);  // C(5,1)
+  for (const auto& row : rows) {
+    // Coefficients vanish on the pattern's stragglers and reconstruct 1.
+    for (WorkerId w : row.stragglers)
+      EXPECT_DOUBLE_EQ(row.coefficients[w], 0.0);
+    const Vector ab = scheme.coding_matrix().apply_transpose(row.coefficients);
+    for (double v : ab) EXPECT_NEAR(v, 1.0, 1e-8);
+  }
+}
+
+TEST(DecodingMatrix, PatternCountMatchesBinomial) {
+  Rng rng(52);
+  HeterAwareScheme scheme({2, 2, 3, 3, 4, 4}, 9, 2, rng);
+  EXPECT_EQ(build_decoding_matrix(scheme).size(), 15u);  // C(6,2)
+}
+
+TEST(DecodingMatrix, NaiveHasSingleEmptyPattern) {
+  NaiveScheme naive(4);
+  const auto rows = build_decoding_matrix(naive);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].stragglers.empty());
+  EXPECT_EQ(rows[0].coefficients, Vector(4, 1.0));
+}
+
+TEST(StreamingDecoder, DecodesAtFirstSufficientArrival) {
+  Rng rng(53);
+  HeterAwareScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  StreamingDecoder decoder(scheme);
+
+  // Per-partition scalar "gradients" 1..7; aggregate = 28.
+  std::vector<Vector> grads(7);
+  for (std::size_t p = 0; p < 7; ++p) grads[p] = {double(p + 1)};
+
+  EXPECT_FALSE(decoder.add_result(0, encode_gradient(scheme, 0, grads)));
+  EXPECT_FALSE(decoder.add_result(1, encode_gradient(scheme, 1, grads)));
+  EXPECT_FALSE(decoder.add_result(2, encode_gradient(scheme, 2, grads)));
+  EXPECT_FALSE(decoder.ready());
+  // Fourth arrival: only one worker missing <= s, decodable.
+  EXPECT_TRUE(decoder.add_result(3, encode_gradient(scheme, 3, grads)));
+  EXPECT_TRUE(decoder.ready());
+  EXPECT_EQ(decoder.results_received(), 4u);
+  const Vector aggregate = decoder.aggregate();
+  ASSERT_EQ(aggregate.size(), 1u);
+  EXPECT_NEAR(aggregate[0], 28.0, 1e-8);
+}
+
+TEST(StreamingDecoder, ExtraResultsAreUnused) {
+  Rng rng(54);
+  HeterAwareScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  StreamingDecoder decoder(scheme);
+  std::vector<Vector> grads(7);
+  for (std::size_t p = 0; p < 7; ++p) grads[p] = {1.0};
+  for (WorkerId w = 0; w < 4; ++w)
+    decoder.add_result(w, encode_gradient(scheme, w, grads));
+  ASSERT_TRUE(decoder.ready());
+  // Late fifth result: recorded but not part of the decode.
+  EXPECT_FALSE(decoder.add_result(4, encode_gradient(scheme, 4, grads)));
+  const auto unused = decoder.unused_workers();
+  EXPECT_EQ(unused, (std::vector<WorkerId>{4}));
+}
+
+TEST(StreamingDecoder, RejectsDuplicateResult) {
+  Rng rng(55);
+  HeterAwareScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  StreamingDecoder decoder(scheme);
+  decoder.add_result(0, Vector{1.0});
+  EXPECT_THROW(decoder.add_result(0, Vector{1.0}), std::invalid_argument);
+}
+
+TEST(StreamingDecoder, ThrowsBeforeReady) {
+  Rng rng(56);
+  HeterAwareScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  StreamingDecoder decoder(scheme);
+  EXPECT_THROW(decoder.aggregate(), DecodeError);
+  EXPECT_THROW(decoder.coefficients(), DecodeError);
+}
+
+TEST(StreamingDecoder, ResetAllowsReuse) {
+  Rng rng(57);
+  HeterAwareScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  StreamingDecoder decoder(scheme);
+  std::vector<Vector> grads(7);
+  for (std::size_t p = 0; p < 7; ++p) grads[p] = {2.0};
+  for (WorkerId w = 0; w < 4; ++w)
+    decoder.add_result(w, encode_gradient(scheme, w, grads));
+  ASSERT_TRUE(decoder.ready());
+  decoder.reset();
+  EXPECT_FALSE(decoder.ready());
+  EXPECT_EQ(decoder.results_received(), 0u);
+  // Second iteration decodes again from scratch.
+  for (WorkerId w = 1; w < 5; ++w)
+    decoder.add_result(w, encode_gradient(scheme, w, grads));
+  EXPECT_TRUE(decoder.ready());
+  EXPECT_NEAR(decoder.aggregate()[0], 14.0, 1e-8);
+}
+
+TEST(OnesInRowSpan, BasicGeometry) {
+  const Matrix b{{1.0, 0.0}, {0.0, 1.0}, {2.0, 2.0}};
+  const std::vector<std::size_t> both = {0, 1};
+  EXPECT_TRUE(ones_in_row_span(b, both));
+  const std::vector<std::size_t> third = {2};
+  EXPECT_TRUE(ones_in_row_span(b, third));  // 0.5 * (2,2)
+  const std::vector<std::size_t> first = {0};
+  EXPECT_FALSE(ones_in_row_span(b, first));
+  EXPECT_FALSE(ones_in_row_span(b, std::vector<std::size_t>{}));
+}
+
+TEST(ForEachStragglerPattern, CountsAndEarlyExit) {
+  std::size_t count = 0;
+  for_each_straggler_pattern(6, 2, [&](const StragglerSet&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 15u);  // C(6,2)
+
+  count = 0;
+  const bool completed = for_each_straggler_pattern(
+      6, 2, [&](const StragglerSet&) { return ++count < 4; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(ForEachStragglerPattern, ZeroStragglersVisitsOnce) {
+  std::size_t count = 0;
+  for_each_straggler_pattern(5, 0, [&](const StragglerSet& s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(CompletionTime, MatchesHandComputedOrder) {
+  Rng rng(58);
+  // c = [1,2,3,4,4], loads = [1,2,3,4,4] (partitions), t_i = load/c = 1 for
+  // every worker; any single straggler still completes at t = 1.
+  HeterAwareScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  const Throughputs c = {1, 2, 3, 4, 4};
+  const auto t = completion_time(scheme, c, {2});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 1.0, 1e-12);
+}
+
+TEST(CompletionTime, UndecodableReturnsNullopt) {
+  NaiveScheme naive(3);
+  const Throughputs c = {1, 1, 1};
+  EXPECT_FALSE(completion_time(naive, c, {0}).has_value());
+}
+
+}  // namespace
+}  // namespace hgc

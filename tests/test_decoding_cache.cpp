@@ -1,0 +1,110 @@
+// Tests for the LRU decoding-coefficient cache (the paper's "partially
+// stored" decoding matrix, Section III-B).
+#include <gtest/gtest.h>
+
+#include "core/decoding_cache.hpp"
+#include "core/heter_aware.hpp"
+#include "util/rng.hpp"
+
+namespace hgc {
+namespace {
+
+class DecodingCacheTest : public ::testing::Test {
+ protected:
+  DecodingCacheTest() : rng_(141), scheme_({1, 2, 3, 4, 4}, 7, 1, rng_) {}
+
+  std::vector<bool> all_but(std::initializer_list<WorkerId> missing) const {
+    std::vector<bool> received(5, true);
+    for (WorkerId w : missing) received[w] = false;
+    return received;
+  }
+
+  Rng rng_;
+  HeterAwareScheme scheme_;
+};
+
+TEST_F(DecodingCacheTest, HitReturnsIdenticalCoefficients) {
+  DecodingCache cache(scheme_);
+  const auto first = cache.decode(all_but({2}));
+  const auto second = cache.decode(all_but({2}));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(DecodingCacheTest, MatchesUncachedDecode) {
+  DecodingCache cache(scheme_);
+  for (WorkerId straggler = 0; straggler < 5; ++straggler) {
+    const auto received = all_but({straggler});
+    const auto cached = cache.decode(received);
+    const auto direct = scheme_.decoding_coefficients(received);
+    ASSERT_EQ(cached.has_value(), direct.has_value());
+    EXPECT_EQ(*cached, *direct);
+  }
+  EXPECT_EQ(cache.misses(), 5u);
+}
+
+TEST_F(DecodingCacheTest, CachesNegativeResults) {
+  DecodingCache cache(scheme_);
+  const auto received = all_but({3, 4});  // 2 stragglers > s = 1
+  EXPECT_FALSE(cache.decode(received).has_value());
+  EXPECT_FALSE(cache.decode(received).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(DecodingCacheTest, EvictsLeastRecentlyUsed) {
+  DecodingCache cache(scheme_, 2);
+  cache.decode(all_but({0}));  // A
+  cache.decode(all_but({1}));  // B
+  cache.decode(all_but({0}));  // hit A, A becomes MRU
+  cache.decode(all_but({2}));  // C evicts B (A was bumped by the hit)
+  EXPECT_EQ(cache.size(), 2u);
+  const std::size_t hits_before = cache.hits();
+  cache.decode(all_but({0}));  // A survived: hit
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+  const std::size_t misses_before = cache.misses();
+  cache.decode(all_but({1}));  // B was evicted: miss (and now evicts C)
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST_F(DecodingCacheTest, ClearResets) {
+  DecodingCache cache(scheme_);
+  cache.decode(all_but({0}));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST_F(DecodingCacheTest, RejectsWrongWidth) {
+  DecodingCache cache(scheme_);
+  EXPECT_THROW(cache.decode(std::vector<bool>(3, true)),
+               std::invalid_argument);
+}
+
+TEST_F(DecodingCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW(DecodingCache(scheme_, 0), std::invalid_argument);
+}
+
+TEST(DecodingCacheWide, DistinguishesPatternsBeyond64Workers) {
+  // 70 workers exercises the multi-word key path.
+  Rng rng(142);
+  Throughputs c(70, 1.0);
+  HeterAwareScheme scheme(c, 70, 1, rng);
+  DecodingCache cache(scheme);
+  std::vector<bool> a(70, true), b(70, true);
+  a[0] = false;
+  b[69] = false;
+  const auto ca = cache.decode(a);
+  const auto cb = cache.decode(b);
+  ASSERT_TRUE(ca.has_value());
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(cache.misses(), 2u);  // distinct keys, both misses
+  EXPECT_NE(*ca, *cb);
+}
+
+}  // namespace
+}  // namespace hgc

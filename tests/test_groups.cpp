@@ -1,0 +1,157 @@
+// Tests for Algorithm 2: FindAllGroups (exact covers) and PruneGroups.
+#include <gtest/gtest.h>
+
+#include "core/allocation.hpp"
+#include "core/groups.hpp"
+#include "util/rng.hpp"
+
+namespace hgc {
+namespace {
+
+TEST(FindAllGroups, PaperExample1Groups) {
+  // Example 1 allocation: W0:{0} W1:{1,2} W2:{3,4,5} W3:{0,1,2,6}
+  // W4:{3,4,5,6}. Exact covers: {W0,W1,W4} and {W2,W3}.
+  const auto assignment =
+      cyclic_assignment(std::vector<std::size_t>{1, 2, 3, 4, 4}, 7);
+  const auto groups = find_all_groups(assignment, 7);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (Group{0, 1, 4}));
+  EXPECT_EQ(groups[1], (Group{2, 3}));
+  EXPECT_TRUE(is_exact_cover(assignment, 7, groups[0]));
+  EXPECT_TRUE(is_exact_cover(assignment, 7, groups[1]));
+}
+
+TEST(FindAllGroups, SingleWorkerHoldingEverything) {
+  const Assignment assignment = {{0, 1, 2}, {0}, {1, 2}};
+  const auto groups = find_all_groups(assignment, 3);
+  // {W0} alone and {W1, W2} are both exact covers.
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (Group{0}));
+  EXPECT_EQ(groups[1], (Group{1, 2}));
+}
+
+TEST(FindAllGroups, NoGroupsWhenNothingTiles) {
+  // Overlapping supports that can never partition D exactly.
+  const Assignment assignment = {{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_TRUE(find_all_groups(assignment, 3).empty());
+}
+
+TEST(FindAllGroups, IgnoresEmptyWorkers) {
+  const Assignment assignment = {{}, {0}, {1}, {}};
+  const auto groups = find_all_groups(assignment, 2);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (Group{1, 2}));
+}
+
+TEST(FindAllGroups, EnumeratesEachCoverOnce) {
+  // Two disjoint tilings sharing no structure: {0},{1} and {0,1}.
+  const Assignment assignment = {{0}, {1}, {0, 1}};
+  const auto groups = find_all_groups(assignment, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (Group{0, 1}));
+  EXPECT_EQ(groups[1], (Group{2}));
+}
+
+TEST(FindAllGroups, RespectsSolutionCap) {
+  // Every pair {i, i+5} tiles; many covers exist. Cap at 3.
+  Assignment assignment;
+  for (int i = 0; i < 5; ++i) assignment.push_back({0});
+  for (int i = 0; i < 5; ++i) assignment.push_back({1});
+  GroupSearchLimits limits;
+  limits.max_groups = 3;
+  const auto groups = find_all_groups(assignment, 2, limits);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(FindAllGroups, WorksBeyond64Partitions) {
+  // 130 partitions (>2 words in the bitmask): two complementary halves.
+  const std::size_t k = 130;
+  Assignment assignment(2);
+  for (std::size_t p = 0; p < k; ++p)
+    assignment[p % 2].push_back(p);
+  const auto groups = find_all_groups(assignment, k);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (Group{0, 1}));
+}
+
+TEST(PruneGroups, AlreadyDisjointUntouched) {
+  std::vector<Group> groups = {{0, 1}, {2, 3}};
+  const auto pruned = prune_groups(groups);
+  EXPECT_EQ(pruned, groups);
+  EXPECT_TRUE(are_disjoint(pruned));
+}
+
+TEST(PruneGroups, RemovesMostConflictingGroup) {
+  // Group {0,1,2} intersects both {0,3} and {1,4}; they don't intersect
+  // each other, so pruning drops the big one.
+  const std::vector<Group> groups = {{0, 1, 2}, {0, 3}, {1, 4}};
+  const auto pruned = prune_groups(groups);
+  ASSERT_EQ(pruned.size(), 2u);
+  EXPECT_TRUE(are_disjoint(pruned));
+  EXPECT_EQ(pruned[0], (Group{0, 3}));
+  EXPECT_EQ(pruned[1], (Group{1, 4}));
+}
+
+TEST(PruneGroups, ChainConflictKeepsMaximalSet) {
+  // a-{0,1}, b-{1,2}, c-{2,3}: b conflicts with both; pruning b leaves two
+  // disjoint groups.
+  const std::vector<Group> groups = {{0, 1}, {1, 2}, {2, 3}};
+  const auto pruned = prune_groups(groups);
+  ASSERT_EQ(pruned.size(), 2u);
+  EXPECT_TRUE(are_disjoint(pruned));
+}
+
+TEST(PruneGroups, EmptyInput) {
+  EXPECT_TRUE(prune_groups({}).empty());
+}
+
+TEST(AreDisjoint, DetectsSharedWorker) {
+  EXPECT_FALSE(are_disjoint({{0, 1}, {1, 2}}));
+  EXPECT_TRUE(are_disjoint({{0, 1}, {2, 3}}));
+  EXPECT_TRUE(are_disjoint({}));
+}
+
+TEST(IsExactCover, RejectsOverAndUnderCoverage) {
+  const Assignment assignment = {{0, 1}, {1}, {}};
+  EXPECT_FALSE(is_exact_cover(assignment, 2, Group{0, 1}));  // 1 twice
+  EXPECT_FALSE(is_exact_cover(assignment, 2, Group{1}));     // 0 missing
+  EXPECT_TRUE(is_exact_cover(assignment, 2, Group{0}));
+}
+
+TEST(IsExactCover, RejectsOutOfRangeIds) {
+  const Assignment assignment = {{0}};
+  EXPECT_FALSE(is_exact_cover(assignment, 1, Group{5}));
+}
+
+// Property: on allocator-produced supports, every found group is an exact
+// cover, and pruning always yields pairwise-disjoint groups.
+class GroupSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(GroupSweep, FoundGroupsAreCoversAndPruneDisjoint) {
+  const auto [m, s] = GetParam();
+  Rng rng(700 + m * 13 + s);
+  const std::size_t k = 2 * m;
+  for (int trial = 0; trial < 10; ++trial) {
+    Throughputs c(m);
+    for (double& x : c) x = rng.uniform(1.0, 8.0);
+    const auto assignment = cyclic_assignment(heter_aware_counts(c, k, s), k);
+    const auto groups = find_all_groups(assignment, k);
+    for (const Group& g : groups)
+      EXPECT_TRUE(is_exact_cover(assignment, k, g));
+    const auto pruned = prune_groups(groups);
+    EXPECT_TRUE(are_disjoint(pruned));
+    EXPECT_LE(pruned.size(), s + 1);  // ≤ replication factor
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GroupSweep,
+                         ::testing::Combine(::testing::Values(4, 6, 8, 12, 16),
+                                            ::testing::Values(1, 2, 3)),
+                         [](const auto& info) {
+                           return "m" + std::to_string(std::get<0>(info.param)) +
+                                  "_s" + std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace hgc

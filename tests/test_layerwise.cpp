@@ -1,0 +1,148 @@
+// Tests for the layer-wise coded pipeline (compute/communication overlap,
+// the paper's conclusion extension).
+#include <gtest/gtest.h>
+
+#include "core/scheme_factory.hpp"
+#include "sim/layerwise.hpp"
+
+namespace hgc {
+namespace {
+
+IterationConditions clean(std::size_t m) {
+  IterationConditions cond;
+  cond.speed_factor.assign(m, 1.0);
+  cond.delay.assign(m, 0.0);
+  cond.faulted.assign(m, false);
+  return cond;
+}
+
+class LayerwiseTest : public ::testing::Test {
+ protected:
+  LayerwiseTest()
+      : cluster_(cluster_a()),
+        rng_(151),
+        scheme_(make_scheme(SchemeKind::kHeterAware, cluster_.throughputs(),
+                            24, 1, rng_)) {}
+
+  Cluster cluster_;
+  Rng rng_;
+  std::unique_ptr<CodingScheme> scheme_;
+};
+
+TEST_F(LayerwiseTest, EqualLayersSumToOne) {
+  const auto fractions = equal_layers(7);
+  double total = 0.0;
+  for (double f : fractions) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_THROW(equal_layers(0), std::invalid_argument);
+}
+
+TEST_F(LayerwiseTest, MonolithicMatchesPlainSimulatorWithoutComm) {
+  LayerwiseParams params;  // single layer, no comm cost
+  const auto layered =
+      simulate_layerwise_iteration(*scheme_, cluster_, clean(8), params);
+  const auto plain = simulate_iteration(*scheme_, cluster_, clean(8));
+  ASSERT_TRUE(layered.decoded);
+  ASSERT_TRUE(plain.decoded);
+  EXPECT_NEAR(layered.time, plain.time, 1e-12);
+}
+
+TEST_F(LayerwiseTest, OverlapHidesTransferTime) {
+  const double transfer = 0.5 * ideal_iteration_time(cluster_, 1);
+
+  LayerwiseParams mono;
+  mono.full_transfer_time = transfer;
+  const auto monolithic =
+      simulate_layerwise_iteration(*scheme_, cluster_, clean(8), mono);
+
+  LayerwiseParams layered = mono;
+  layered.layer_fractions = equal_layers(8);
+  const auto pipelined =
+      simulate_layerwise_iteration(*scheme_, cluster_, clean(8), layered);
+
+  ASSERT_TRUE(monolithic.decoded);
+  ASSERT_TRUE(pipelined.decoded);
+  // Monolithic pays compute + full transfer; pipelining hides all but the
+  // last layer's slice.
+  EXPECT_LT(pipelined.time, monolithic.time - 0.5 * transfer);
+}
+
+TEST_F(LayerwiseTest, MoreLayersNeverSlower) {
+  LayerwiseParams params;
+  params.full_transfer_time = 0.02;
+  double previous = 1e9;
+  for (std::size_t layers : {1u, 2u, 4u, 16u}) {
+    params.layer_fractions = equal_layers(layers);
+    const auto result =
+        simulate_layerwise_iteration(*scheme_, cluster_, clean(8), params);
+    ASSERT_TRUE(result.decoded);
+    EXPECT_LE(result.time, previous + 1e-12) << layers << " layers";
+    previous = result.time;
+  }
+}
+
+TEST_F(LayerwiseTest, PerMessageLatencyPenalizesOverSplitting) {
+  // With a fixed cost per message, thousands of tiny layers lose: the last
+  // layer still pays latency, and so does every other one... the *last*
+  // layer's arrival = compute + latency + slice; latency is not amortized.
+  LayerwiseParams coarse;
+  coarse.full_transfer_time = 0.01;
+  coarse.per_message_latency = 0.005;
+  coarse.layer_fractions = equal_layers(2);
+  LayerwiseParams fine = coarse;
+  fine.layer_fractions = equal_layers(64);
+  const auto coarse_result =
+      simulate_layerwise_iteration(*scheme_, cluster_, clean(8), coarse);
+  const auto fine_result =
+      simulate_layerwise_iteration(*scheme_, cluster_, clean(8), fine);
+  ASSERT_TRUE(coarse_result.decoded);
+  ASSERT_TRUE(fine_result.decoded);
+  // Finer layers shrink the exposed final slice (0.01/64 vs 0.01/2) but the
+  // fixed latency stays; the gap must be bounded by the slice difference.
+  EXPECT_NEAR(fine_result.time,
+              coarse_result.time - (0.01 / 2 - 0.01 / 64), 1e-9);
+}
+
+TEST_F(LayerwiseTest, StragglerToleranceCarriesOver) {
+  auto cond = clean(8);
+  cond.faulted[7] = true;
+  LayerwiseParams params;
+  params.layer_fractions = equal_layers(4);
+  params.full_transfer_time = 0.01;
+  const auto result =
+      simulate_layerwise_iteration(*scheme_, cluster_, cond, params);
+  EXPECT_TRUE(result.decoded);
+
+  cond.faulted[6] = true;  // two faults > s = 1
+  const auto dead =
+      simulate_layerwise_iteration(*scheme_, cluster_, cond, params);
+  EXPECT_FALSE(dead.decoded);
+}
+
+TEST_F(LayerwiseTest, LayerTimesAreRecorded) {
+  LayerwiseParams params;
+  params.layer_fractions = {0.5, 0.3, 0.2};
+  const auto result =
+      simulate_layerwise_iteration(*scheme_, cluster_, clean(8), params);
+  ASSERT_TRUE(result.decoded);
+  ASSERT_EQ(result.layer_times.size(), 3u);
+  // Later layers decode later (cumulative compute grows).
+  EXPECT_LT(result.layer_times[0], result.layer_times[1]);
+  EXPECT_LT(result.layer_times[1], result.layer_times[2]);
+  EXPECT_DOUBLE_EQ(result.time, result.layer_times[2]);
+}
+
+TEST_F(LayerwiseTest, RejectsBadFractions) {
+  LayerwiseParams params;
+  params.layer_fractions = {0.5, 0.2};  // sums to 0.7
+  EXPECT_THROW(
+      simulate_layerwise_iteration(*scheme_, cluster_, clean(8), params),
+      std::invalid_argument);
+  params.layer_fractions = {1.5, -0.5};
+  EXPECT_THROW(
+      simulate_layerwise_iteration(*scheme_, cluster_, clean(8), params),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hgc

@@ -1,0 +1,172 @@
+// Tests for the full-stack networked trainer and the bursty straggler
+// process.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "runtime/networked_trainer.hpp"
+#include "runtime/sim_trainer.hpp"
+
+namespace hgc {
+namespace {
+
+Dataset small_data(std::uint64_t seed = 211) {
+  Rng rng(seed);
+  return make_gaussian_classification(64, 5, 3, 2.5, rng);
+}
+
+TEST(NetworkedTrainer, LosslessRunMatchesSerial) {
+  const Cluster cluster = cluster_a();
+  const Dataset data = small_data();
+  SoftmaxRegression model(5, 3);
+  NetworkedTrainingConfig config;
+  config.iterations = 12;
+  config.sgd.learning_rate = 0.3;
+  config.link = {0.001, 1e9, 0.0};
+  const auto net_run = train_bsp_networked(SchemeKind::kHeterAware, cluster,
+                                           model, data, 24, 1, config);
+
+  BspTrainingConfig serial_config;
+  serial_config.iterations = 12;
+  serial_config.sgd.learning_rate = 0.3;
+  serial_config.seed = config.seed;
+  const auto serial = train_serial(model, data, serial_config);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < serial.final_params.size(); ++i)
+    worst = std::max(worst, std::abs(net_run.final_params[i] -
+                                     serial.final_params[i]));
+  EXPECT_LT(worst, 1e-6);
+  EXPECT_EQ(net_run.rounds_retried, 0u);
+  EXPECT_EQ(net_run.rounds_abandoned, 0u);
+  EXPECT_GT(net_run.bytes_sent, 0u);
+}
+
+TEST(NetworkedTrainer, ModerateLossStaysExactViaCoding) {
+  // 3% per-message loss, s = 2: most rounds decode despite drops, and each
+  // decoded update equals the exact full gradient, so the final parameters
+  // still track serial SGD bit-for-bit in iteration count.
+  const Cluster cluster = cluster_a();
+  const Dataset data = small_data();
+  SoftmaxRegression model(5, 3);
+  NetworkedTrainingConfig config;
+  config.iterations = 15;
+  config.sgd.learning_rate = 0.3;
+  config.link = {0.001, 1e9, 0.03};
+  const auto run = train_bsp_networked(SchemeKind::kHeterAware, cluster,
+                                       model, data, 16, 2, config);
+  EXPECT_EQ(run.rounds_abandoned, 0u);
+  EXPECT_GT(run.messages_dropped, 0u);  // losses did happen
+  // Every applied update was exact, so the loss is identical to a serial
+  // run of the same length.
+  BspTrainingConfig serial_config;
+  serial_config.iterations = 15;
+  serial_config.sgd.learning_rate = 0.3;
+  serial_config.seed = config.seed;
+  const auto serial = train_serial(model, data, serial_config);
+  EXPECT_NEAR(run.trace.final_loss(), serial.trace.final_loss(), 1e-7);
+}
+
+TEST(NetworkedTrainer, HeavyLossCostsRetriesNotCorrectness) {
+  const Cluster cluster = cluster_a();
+  const Dataset data = small_data();
+  SoftmaxRegression model(5, 3);
+  NetworkedTrainingConfig config;
+  config.iterations = 10;
+  config.link = {0.001, 1e9, 0.25};  // brutal: expect many failed rounds
+  const auto run = train_bsp_networked(SchemeKind::kHeterAware, cluster,
+                                       model, data, 16, 1, config);
+  EXPECT_GT(run.rounds_retried, 0u);
+  // Whatever made it through is exact; loss never increases along the trace
+  // beyond float jitter.
+  for (std::size_t i = 1; i < run.trace.points.size(); ++i)
+    EXPECT_LE(run.trace.points[i].loss,
+              run.trace.points[i - 1].loss + 1e-6);
+}
+
+TEST(NetworkedTrainer, NaiveCannotSurviveLoss) {
+  const Cluster cluster = cluster_a();
+  const Dataset data = small_data();
+  SoftmaxRegression model(5, 3);
+  NetworkedTrainingConfig config;
+  config.iterations = 8;
+  config.max_round_retries = 2;
+  config.link = {0.001, 1e9, 0.2};
+  const auto run = train_bsp_networked(SchemeKind::kNaive, cluster, model,
+                                       data, 8, 0, config);
+  // With 8 messages/round at 20% loss, a clean round is rare; most
+  // iterations exhaust their retries.
+  EXPECT_GT(run.rounds_abandoned + run.rounds_retried, 4u);
+}
+
+TEST(StragglerProcess, ZeroPersistenceMatchesIidCounts) {
+  StragglerModel model;
+  model.num_stragglers = 2;
+  model.delay_seconds = 1.0;
+  StragglerProcess process(model, 0.0, 6, Rng(221));
+  for (int i = 0; i < 50; ++i) {
+    const auto cond = process.next();
+    std::size_t delayed = 0;
+    for (double d : cond.delay) delayed += d > 0.0 ? 1 : 0;
+    EXPECT_EQ(delayed, 2u);
+  }
+}
+
+TEST(StragglerProcess, FullPersistenceFreezesVictims) {
+  StragglerModel model;
+  model.num_stragglers = 2;
+  model.delay_seconds = 1.0;
+  StragglerProcess process(model, 1.0, 6, Rng(222));
+  process.next();
+  const auto first = process.victims();
+  for (int i = 0; i < 20; ++i) {
+    process.next();
+    EXPECT_EQ(process.victims(), first);
+  }
+}
+
+TEST(StragglerProcess, PersistenceIncreasesOverlap) {
+  auto mean_overlap = [](double persistence) {
+    StragglerModel model;
+    model.num_stragglers = 2;
+    model.delay_seconds = 1.0;
+    StragglerProcess process(model, persistence, 10, Rng(223));
+    process.next();
+    auto previous = process.victims();
+    double overlap_total = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      process.next();
+      const auto& current = process.victims();
+      std::set<WorkerId> prev_set(previous.begin(), previous.end());
+      std::size_t overlap = 0;
+      for (WorkerId w : current) overlap += prev_set.count(w);
+      overlap_total += static_cast<double>(overlap);
+      previous = current;
+    }
+    return overlap_total / 300.0;
+  };
+  EXPECT_GT(mean_overlap(0.9), mean_overlap(0.0) + 0.5);
+}
+
+TEST(StragglerProcess, FaultModeMarksVictims) {
+  StragglerModel model;
+  model.num_stragglers = 1;
+  model.fault = true;
+  StragglerProcess process(model, 0.5, 4, Rng(224));
+  const auto cond = process.next();
+  std::size_t faults = 0;
+  for (bool f : cond.faulted) faults += f ? 1 : 0;
+  EXPECT_EQ(faults, 1u);
+}
+
+TEST(StragglerProcess, RejectsBadPersistence) {
+  StragglerModel model;
+  EXPECT_THROW(StragglerProcess(model, -0.1, 4, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(StragglerProcess(model, 1.1, 4, Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hgc

@@ -1,0 +1,233 @@
+// Tests for the event-driven iteration simulator and experiment harness.
+#include <gtest/gtest.h>
+
+#include "core/scheme_factory.hpp"
+#include "sim/experiment.hpp"
+#include "sim/iteration.hpp"
+
+namespace hgc {
+namespace {
+
+IterationConditions clean_conditions(std::size_t m) {
+  IterationConditions cond;
+  cond.speed_factor.assign(m, 1.0);
+  cond.delay.assign(m, 0.0);
+  cond.faulted.assign(m, false);
+  return cond;
+}
+
+TEST(SimulateIteration, HeterAwareHitsIdealTime) {
+  Rng rng(71);
+  const Cluster cluster = cluster_a();
+  const auto scheme = make_scheme(SchemeKind::kHeterAware,
+                                  cluster.throughputs(), 24, 1, rng);
+  const auto result =
+      simulate_iteration(*scheme, cluster, clean_conditions(8));
+  ASSERT_TRUE(result.decoded);
+  // Perfect proportional allocation: decode at (s+1)/Σc.
+  EXPECT_NEAR(result.time, ideal_iteration_time(cluster, 1), 1e-9);
+}
+
+TEST(SimulateIteration, NaiveWaitsForSlowestWorker) {
+  Rng rng(72);
+  const Cluster cluster = cluster_a();
+  const auto scheme =
+      make_scheme(SchemeKind::kNaive, cluster.throughputs(), 8, 0, rng);
+  const auto result =
+      simulate_iteration(*scheme, cluster, clean_conditions(8));
+  ASSERT_TRUE(result.decoded);
+  // Naive: k = m = 8 equal partitions; slowest worker (c=2) takes
+  // (1/8)/2 = 0.0625 s.
+  EXPECT_NEAR(result.time, 0.0625, 1e-12);
+  EXPECT_EQ(result.results_used, 8u);
+}
+
+TEST(SimulateIteration, CyclicPinnedToSlowestSurvivor) {
+  Rng rng(73);
+  const Cluster cluster = cluster_a();
+  const auto scheme =
+      make_scheme(SchemeKind::kCyclic, cluster.throughputs(), 8, 1, rng);
+  const auto result =
+      simulate_iteration(*scheme, cluster, clean_conditions(8));
+  ASSERT_TRUE(result.decoded);
+  // Cyclic load = s+1 = 2 of 8 partitions; needs m−s = 7 results, so the
+  // 2nd slowest worker (c = 2) gates: (2/8)/2 = 0.125 s.
+  EXPECT_NEAR(result.time, 0.125, 1e-12);
+}
+
+TEST(SimulateIteration, FaultKillsNaiveButNotCoded) {
+  Rng rng(74);
+  const Cluster cluster = cluster_a();
+  auto cond = clean_conditions(8);
+  cond.faulted[7] = true;  // fastest worker dies
+
+  const auto naive =
+      make_scheme(SchemeKind::kNaive, cluster.throughputs(), 8, 0, rng);
+  EXPECT_FALSE(simulate_iteration(*naive, cluster, cond).decoded);
+
+  const auto heter = make_scheme(SchemeKind::kHeterAware,
+                                 cluster.throughputs(), 24, 1, rng);
+  const auto result = simulate_iteration(*heter, cluster, cond);
+  EXPECT_TRUE(result.decoded);
+  EXPECT_NEAR(result.time, ideal_iteration_time(cluster, 1), 1e-9);
+}
+
+TEST(SimulateIteration, DelayOnStragglerIsAbsorbed) {
+  Rng rng(75);
+  const Cluster cluster = cluster_a();
+  const auto heter = make_scheme(SchemeKind::kHeterAware,
+                                 cluster.throughputs(), 24, 1, rng);
+  auto cond = clean_conditions(8);
+  cond.delay[3] = 100.0;  // one delayed worker, s = 1
+  const auto result = simulate_iteration(*heter, cluster, cond);
+  ASSERT_TRUE(result.decoded);
+  EXPECT_NEAR(result.time, ideal_iteration_time(cluster, 1), 1e-9);
+}
+
+TEST(SimulateIteration, CommLatencyShiftsEverything) {
+  Rng rng(76);
+  const Cluster cluster = cluster_a();
+  const auto heter = make_scheme(SchemeKind::kHeterAware,
+                                 cluster.throughputs(), 24, 1, rng);
+  SimParams params;
+  params.comm_latency = 0.01;
+  const auto result =
+      simulate_iteration(*heter, cluster, clean_conditions(8), params);
+  ASSERT_TRUE(result.decoded);
+  EXPECT_NEAR(result.time, ideal_iteration_time(cluster, 1) + 0.01, 1e-9);
+}
+
+TEST(SimulateIteration, ResourceUsageNearOneWhenBalanced) {
+  Rng rng(77);
+  const Cluster cluster = cluster_a();
+  const auto heter = make_scheme(SchemeKind::kHeterAware,
+                                 cluster.throughputs(), 24, 1, rng);
+  const auto result =
+      simulate_iteration(*heter, cluster, clean_conditions(8));
+  ASSERT_TRUE(result.decoded);
+  // Every worker computes until the common decode time.
+  EXPECT_GT(result.resource_usage, 0.95);
+  EXPECT_LE(result.resource_usage, 1.0 + 1e-12);
+}
+
+TEST(SimulateIteration, NaiveResourceUsageLowOnHeterogeneousCluster) {
+  Rng rng(78);
+  const Cluster cluster = cluster_a();
+  const auto naive =
+      make_scheme(SchemeKind::kNaive, cluster.throughputs(), 8, 0, rng);
+  const auto result =
+      simulate_iteration(*naive, cluster, clean_conditions(8));
+  ASSERT_TRUE(result.decoded);
+  // Fast workers idle while the slowest finishes: usage = mean(c_min/c_i).
+  EXPECT_LT(result.resource_usage, 0.6);
+}
+
+TEST(SimulateIteration, RejectsMismatchedSizes) {
+  Rng rng(79);
+  const Cluster cluster = cluster_a();
+  const auto scheme =
+      make_scheme(SchemeKind::kNaive, cluster.throughputs(), 8, 0, rng);
+  EXPECT_THROW(
+      simulate_iteration(*scheme, cluster, clean_conditions(5)),
+      std::invalid_argument);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const Cluster cluster = cluster_a();
+  ExperimentConfig config;
+  config.s = 1;
+  config.iterations = 50;
+  config.model.num_stragglers = 1;
+  config.model.delay_seconds = 0.1;
+  config.model.fluctuation_sigma = 0.05;
+  const auto a = run_experiment(SchemeKind::kHeterAware, cluster, config);
+  const auto b = run_experiment(SchemeKind::kHeterAware, cluster, config);
+  EXPECT_DOUBLE_EQ(a.mean_time(), b.mean_time());
+  EXPECT_DOUBLE_EQ(a.mean_usage(), b.mean_usage());
+}
+
+TEST(Experiment, SeedChangesResults) {
+  const Cluster cluster = cluster_a();
+  ExperimentConfig config;
+  config.iterations = 50;
+  config.model.fluctuation_sigma = 0.1;
+  const auto a = run_experiment(SchemeKind::kHeterAware, cluster, config);
+  config.seed = 777;
+  const auto b = run_experiment(SchemeKind::kHeterAware, cluster, config);
+  EXPECT_NE(a.mean_time(), b.mean_time());
+}
+
+TEST(Experiment, CompareRunsAllSchemes) {
+  const Cluster cluster = cluster_a();
+  ExperimentConfig config;
+  config.iterations = 30;
+  config.model.num_stragglers = 1;
+  config.model.delay_seconds = 0.05;
+  const auto summaries =
+      compare_schemes(paper_schemes(), cluster, config);
+  ASSERT_EQ(summaries.size(), 4u);
+  EXPECT_EQ(summaries[0].scheme, "naive");
+  EXPECT_EQ(summaries[3].scheme, "group-based");
+  for (const auto& s : summaries) EXPECT_EQ(s.iterations, 30u);
+}
+
+TEST(Experiment, HeterBeatsCyclicOnHeterogeneousCluster) {
+  const Cluster cluster = cluster_a();
+  ExperimentConfig config;
+  config.iterations = 100;
+  config.model.num_stragglers = 1;
+  config.model.fault = true;  // full stragglers: the paper's 3× setting
+  config.k = exact_partition_count(cluster, config.s);  // 24: exact Eq. 5
+  const auto summaries = compare_schemes(
+      {SchemeKind::kCyclic, SchemeKind::kHeterAware}, cluster, config);
+  const double speedup = summaries[0].mean_time() / summaries[1].mean_time();
+  // Expected ratio ≈ mean(c)/min(c) = 3: the paper's headline speedup.
+  EXPECT_GT(speedup, 2.5);
+  EXPECT_LT(speedup, 3.3);
+  EXPECT_EQ(summaries[0].failures, 0u);
+  EXPECT_EQ(summaries[1].failures, 0u);
+}
+
+TEST(Experiment, NaiveFailsUnderFaults) {
+  const Cluster cluster = cluster_a();
+  ExperimentConfig config;
+  config.iterations = 20;
+  config.model.num_stragglers = 1;
+  config.model.fault = true;
+  const auto summary = run_experiment(SchemeKind::kNaive, cluster, config);
+  EXPECT_EQ(summary.failures, 20u);
+  EXPECT_TRUE(summary.ever_failed());
+}
+
+TEST(Experiment, ResolvePartitionsDefault) {
+  ExperimentConfig config;
+  EXPECT_EQ(resolve_partitions(config, 8), 16u);
+  config.k = 24;
+  EXPECT_EQ(resolve_partitions(config, 8), 24u);
+}
+
+TEST(Experiment, ExactPartitionCountTableII) {
+  // Smallest k with integral Eq. 5 shares: k·c_i·(s+1)/Σc ∈ N for all i.
+  EXPECT_EQ(exact_partition_count(cluster_a(), 1), 12u);   // k·c_i/24
+  EXPECT_EQ(exact_partition_count(cluster_b(), 1), 29u);   // k·c_i/58
+  EXPECT_EQ(exact_partition_count(cluster_c(), 1), 161u);  // k·c_i/161
+  EXPECT_EQ(exact_partition_count(cluster_d(), 1), 81u);   // k·c_i/324
+  // s = 2 on Cluster-A: 3k·c_i/48 = k·c_i/16 integral already at k = m = 8.
+  EXPECT_EQ(exact_partition_count(cluster_a(), 2), 8u);
+}
+
+TEST(Experiment, ExactPartitionCountGivesOptimalTime) {
+  for (const Cluster& cluster : paper_clusters()) {
+    ExperimentConfig config;
+    config.s = 1;
+    config.k = exact_partition_count(cluster, 1);
+    config.iterations = 3;
+    const auto summary =
+        run_experiment(SchemeKind::kHeterAware, cluster, config);
+    EXPECT_NEAR(summary.mean_time(), ideal_iteration_time(cluster, 1), 1e-9)
+        << cluster.name();
+  }
+}
+
+}  // namespace
+}  // namespace hgc

@@ -1,0 +1,237 @@
+// Unit tests for src/util: RNG, stats, tables, args.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hgc {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    if (a.uniform() != b.uniform()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInOpenInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(0.0, 1.0);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRejectsBadBounds) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(42);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  // Children must differ from each other and advance independently.
+  EXPECT_NE(child1.uniform(), child2.uniform());
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(42), b(42);
+  Rng ca = a.fork(), cb = b.fork();
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.truncated_normal(0.0, 1.0, -0.5, 0.5);
+    EXPECT_GE(x, -0.5);
+    EXPECT_LE(x, 0.5);
+  }
+}
+
+TEST(Rng, TruncatedNormalPathologicalBoundsClamps) {
+  Rng rng(3);
+  // Bounds far from the mean: resampling gives up and clamps.
+  const double x = rng.truncated_normal(0.0, 0.001, 5.0, 6.0);
+  EXPECT_GE(x, 5.0);
+  EXPECT_LE(x, 6.0);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndSorted) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    for (std::size_t i = 1; i < sample.size(); ++i)
+      EXPECT_LT(sample[i - 1], sample[i]);
+    for (std::size_t v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(5);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  EXPECT_EQ(sample, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(5);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 2000; ++i)
+    ++seen[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 25 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 37.0), 42.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 50.0), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, KahanSumHandlesSmallTerms) {
+  std::vector<double> xs(1000000, 1e-10);
+  xs.push_back(1.0);
+  EXPECT_NEAR(kahan_sum(xs), 1.0 + 1e-4, 1e-12);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 1.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"scheme", "time"});
+  table.add_row({"naive", "1.5"});
+  table.add_row({"heter-aware", "0.333"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("scheme"), std::string::npos);
+  EXPECT_NE(out.find("heter-aware"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsRaggedRow) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumFormatsFixed) {
+  EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(Args, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--iters", "50", "--sigma=0.25", "--verbose"};
+  Args args(5, argv);
+  EXPECT_EQ(args.get_int("iters", 0), 50);
+  EXPECT_DOUBLE_EQ(args.get_double("sigma", 0.0), 0.25);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_NO_THROW(args.check_unused());
+}
+
+TEST(Args, DetectsUnusedOptions) {
+  const char* argv[] = {"prog", "--typo", "3"};
+  Args args(3, argv);
+  EXPECT_THROW(args.check_unused(), std::invalid_argument);
+}
+
+TEST(Args, RejectsMalformedOption) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+TEST(Args, BooleanParsing) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=maybe"};
+  Args args(4, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_THROW(args.get_bool("c", false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hgc
