@@ -1,0 +1,141 @@
+// Binary-heap event queue for the discrete-event engine.
+//
+// Events are ordered by (time, tag, insertion sequence). The tag is a
+// caller-supplied tie-break key — protocols that historically ordered
+// simultaneous events by worker id (the SSP trainer's finish queue, the
+// round's arrival ordering) pass the worker id as the tag and get exactly
+// that order back. Untagged events fire FIFO among equal times. The total
+// order makes every simulation deterministic — the property the experiment
+// fairness contract and all trainer determinism tests lean on. The heap is
+// hand-rolled rather than std::priority_queue so that cancelled events can
+// be dropped lazily without popping live ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hgc::engine {
+
+/// Handle to a scheduled event, usable with EventQueue::cancel.
+using EventId = std::uint64_t;
+
+/// One scheduled callback.
+struct Event {
+  double time = 0.0;
+  std::uint64_t tag = 0;  ///< caller tie-break; lower tags fire first
+  EventId id = 0;         ///< insertion sequence; final FIFO tie-break
+  std::function<void()> action;
+};
+
+/// Min-heap of events keyed by (time, tag, id), with lazy cancellation.
+/// The pending-id set is the single source of truth for liveness: an id in
+/// the heap but not in the set has been cancelled and is skipped on pop.
+class EventQueue {
+ public:
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Schedule `action` at absolute `time`; returns a cancellation handle.
+  /// `tag` breaks ties among equal times (see the file comment).
+  EventId push(double time, std::function<void()> action,
+               std::uint64_t tag = 0) {
+    const EventId id = next_id_++;
+    heap_.push_back({time, tag, id, std::move(action)});
+    sift_up(heap_.size() - 1);
+    pending_.insert(id);
+    return id;
+  }
+
+  /// Cancel a pending event. Returns false when the event already ran,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id) {
+    if (pending_.erase(id) == 0) return false;
+    // Lazy removal parks cancelled entries in the heap until they surface
+    // at the root — but cancelled far-future timers sink to the leaves and
+    // would be retained (closures included) for the whole run. Compact once
+    // they outnumber live events.
+    if (heap_.size() >= 64 && 2 * pending_.size() < heap_.size()) compact();
+    return true;
+  }
+
+  /// Remove and return the earliest live event. Requires !empty().
+  Event pop() {
+    drop_cancelled();
+    HGC_ASSERT(!heap_.empty(), "pop on an empty event queue");
+    Event out = std::move(heap_.front());
+    remove_root();
+    pending_.erase(out.id);
+    return out;
+  }
+
+  /// Earliest live event's time. Requires !empty().
+  double next_time() {
+    drop_cancelled();
+    HGC_ASSERT(!heap_.empty(), "next_time on an empty event queue");
+    return heap_.front().time;
+  }
+
+ private:
+  static bool before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.tag != b.tag) return a.tag < b.tag;
+    return a.id < b.id;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t smallest = i;
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+      if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  void remove_root() {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  void drop_cancelled() {
+    while (!heap_.empty() && pending_.count(heap_.front().id) == 0)
+      remove_root();
+  }
+
+  /// Drop every cancelled entry and re-heapify the survivors (Floyd).
+  void compact() {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (pending_.count(heap_[i].id) == 0) continue;
+      if (keep != i) heap_[keep] = std::move(heap_[i]);
+      ++keep;
+    }
+    heap_.resize(keep);
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+  }
+
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> pending_;  // scheduled, not yet run/cancelled
+  EventId next_id_ = 0;
+};
+
+}  // namespace hgc::engine

@@ -1,0 +1,166 @@
+#include "engine/scenario.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/link.hpp"
+#include "engine/round.hpp"
+#include "util/error.hpp"
+
+namespace hgc::engine {
+namespace {
+
+/// Roster entry: stable id + hardware.
+struct RosterEntry {
+  std::size_t id;
+  WorkerSpec spec;
+};
+
+Cluster cluster_of(const std::vector<RosterEntry>& roster, std::size_t epoch) {
+  std::vector<WorkerSpec> specs;
+  specs.reserve(roster.size());
+  for (const RosterEntry& entry : roster) specs.push_back(entry.spec);
+  return Cluster("churn-epoch-" + std::to_string(epoch), std::move(specs));
+}
+
+Throughputs throughputs_of(const std::vector<RosterEntry>& roster) {
+  Throughputs c;
+  c.reserve(roster.size());
+  for (const RosterEntry& entry : roster) c.push_back(entry.spec.throughput);
+  return c;
+}
+
+}  // namespace
+
+ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
+                               const ChurnConfig& config) {
+  HGC_REQUIRE(config.iterations > 0, "need at least one iteration");
+  HGC_REQUIRE(std::is_sorted(config.events.begin(), config.events.end(),
+                             [](const ChurnEvent& a, const ChurnEvent& b) {
+                               return a.time < b.time;
+                             }),
+              "churn events must be sorted by time");
+
+  std::vector<RosterEntry> roster;
+  roster.reserve(initial.size());
+  for (std::size_t id = 0; id < initial.size(); ++id)
+    roster.push_back({id, initial.worker(id)});
+  std::size_t next_stable_id = initial.size();
+
+  Rng construction_rng(config.seed);
+  Rng condition_rng(config.seed + 0x79b9);
+
+  ChurnResult result;
+  std::size_t epoch = 0;
+  auto rebuild = [&] {
+    HGC_REQUIRE(roster.size() >= config.s + 2,
+                "churn left too few workers for tolerance s");
+    const std::size_t k =
+        config.k == 0 ? 2 * roster.size() : config.k;
+    auto scheme = make_scheme(kind, throughputs_of(roster), k, config.s,
+                              construction_rng);
+    result.epoch_sizes.push_back(roster.size());
+    return scheme;
+  };
+
+  Cluster active = cluster_of(roster, epoch);
+  auto scheme = rebuild();
+  result.scheme = scheme->name();
+
+  double clock = 0.0;
+  std::size_t next_event = 0;
+  FixedLatencyLink link(config.sim.comm_latency);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    // Apply every membership change that has come due, then re-instantiate
+    // the scheme once — the master cannot decode a B matrix built for a
+    // worker set that no longer exists.
+    bool membership_changed = false;
+    while (next_event < config.events.size() &&
+           config.events[next_event].time <= clock) {
+      const ChurnEvent& event = config.events[next_event++];
+      if (event.join) {
+        roster.push_back({next_stable_id++, event.spec});
+      } else {
+        const auto it = std::find_if(
+            roster.begin(), roster.end(),
+            [&](const RosterEntry& e) { return e.id == event.worker; });
+        HGC_REQUIRE(it != roster.end(),
+                    "churn leave names a worker not in the roster");
+        roster.erase(it);
+      }
+      membership_changed = true;
+    }
+    if (membership_changed) {
+      ++epoch;
+      active = cluster_of(roster, epoch);
+      scheme = rebuild();
+      ++result.reinstantiations;
+    }
+
+    const IterationConditions conditions =
+        config.model.draw(active.size(), condition_rng);
+    const RoundOutcome round =
+        run_round(*scheme, active, conditions, link);
+    ++result.iterations_run;
+    if (!round.decoded) {
+      ++result.failures;
+      continue;
+    }
+    clock += round.time;
+    result.iteration_time.add(round.time);
+    result.latency.add(round.time);
+  }
+
+  result.total_time = clock;
+  return result;
+}
+
+TraceReplayResult replay_trace(SchemeKind kind, const Cluster& cluster,
+                               const DelayTrace& trace,
+                               const TraceReplayConfig& config) {
+  HGC_REQUIRE(trace.num_workers() == cluster.size(),
+              "trace must have one delay column per cluster worker");
+  const std::size_t iterations =
+      config.iterations == 0 ? trace.num_iterations() : config.iterations;
+  HGC_REQUIRE(iterations > 0, "need at least one iteration");
+
+  Rng construction_rng(config.seed);
+  const std::size_t k =
+      config.k == 0 ? 2 * cluster.size() : config.k;
+  const auto scheme = make_scheme(kind, cluster.throughputs(), k, config.s,
+                                  construction_rng);
+
+  TraceReplayResult result;
+  result.scheme = scheme->name();
+  result.iterations = iterations;
+  FixedLatencyLink link(config.sim.comm_latency);
+
+  double clock = 0.0;
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    const IterationConditions conditions = trace.conditions(iter);
+    const RoundOutcome round =
+        run_round(*scheme, cluster, conditions, link);
+    if (!round.decoded) {
+      ++result.failures;
+      continue;
+    }
+    clock += round.time;
+    result.iteration_time.add(round.time);
+    result.latency.add(round.time);
+  }
+  result.total_time = clock;
+  return result;
+}
+
+std::vector<TraceReplayResult> replay_trace_comparison(
+    const std::vector<SchemeKind>& kinds, const Cluster& cluster,
+    const DelayTrace& trace, const TraceReplayConfig& config) {
+  std::vector<TraceReplayResult> results;
+  results.reserve(kinds.size());
+  for (SchemeKind kind : kinds)
+    results.push_back(replay_trace(kind, cluster, trace, config));
+  return results;
+}
+
+}  // namespace hgc::engine

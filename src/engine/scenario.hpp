@@ -1,0 +1,107 @@
+// Scenario drivers on top of the discrete-event engine.
+//
+// The analytic harness in sim/experiment.hpp replays iid conditions on a
+// fixed cluster; real clusters misbehave in richer ways. Two drivers cover
+// the gap:
+//
+//   * Worker churn — workers leave and join mid-training. The master reacts
+//     the only way gradient coding allows: it re-instantiates the coding
+//     scheme over the surviving membership (a scheme's B matrix is bound to
+//     a fixed worker set), repartitions, and carries on. The driver reports
+//     how often that happened and what it did to round latency.
+//
+//   * Trace replay — per-worker delays come from a recorded DelayTrace
+//     instead of a stochastic model, so a real cluster's straggler log can
+//     be replayed under any coding scheme. Replay conditions are
+//     deterministic, which makes scheme comparisons exactly fair by
+//     construction (the same trace row drives every scheme's round).
+//
+// Both drivers run timing-level rounds (engine::run_round over a
+// FixedLatencyLink), the same granularity as the paper-figure experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/straggler.hpp"
+#include "core/scheme_factory.hpp"
+#include "engine/delay_trace.hpp"
+#include "sim/iteration.hpp"
+#include "util/stats.hpp"
+
+namespace hgc::engine {
+
+/// One membership change. Workers carry stable roster ids: the initial
+/// cluster's workers are 0..m0-1 and every join allocates the next id, so a
+/// later leave can name exactly which worker departed.
+struct ChurnEvent {
+  double time = 0.0;       ///< virtual time at which the change takes effect
+  bool join = false;       ///< false = leave
+  std::size_t worker = 0;  ///< leave only: stable id of the departing worker
+  WorkerSpec spec;         ///< join only: the new worker's hardware
+};
+
+/// Configuration of a churn run.
+struct ChurnConfig {
+  std::size_t iterations = 100;
+  std::size_t s = 1;   ///< straggler tolerance, re-used for every epoch
+  std::size_t k = 0;   ///< partitions; 0 = 2 × active workers, per epoch
+  StragglerModel model;
+  SimParams sim;
+  std::uint64_t seed = 42;
+  std::vector<ChurnEvent> events;  ///< must be sorted by time, ascending
+};
+
+/// Outcome of a churn run.
+struct ChurnResult {
+  std::string scheme;
+  std::size_t iterations_run = 0;
+  std::size_t failures = 0;          ///< undecodable rounds (clock unchanged)
+  std::size_t reinstantiations = 0;  ///< scheme rebuilds after churn
+  double total_time = 0.0;
+  RunningStats iteration_time;
+  ReservoirQuantiles latency{1024};  ///< p50/p95/p99 round latency
+  /// Active worker count per membership epoch, initial epoch first.
+  std::vector<std::size_t> epoch_sizes;
+};
+
+/// Run `kind` on `initial` while applying the configured membership events.
+/// Every epoch needs at least s + 2 active workers (a scheme must keep at
+/// least one non-straggler plus room to drop s).
+ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
+                               const ChurnConfig& config);
+
+/// Configuration of a trace replay.
+struct TraceReplayConfig {
+  std::size_t iterations = 0;  ///< 0 = one pass over the trace
+  std::size_t s = 1;
+  std::size_t k = 0;           ///< 0 = 2m
+  SimParams sim;
+  std::uint64_t seed = 42;     ///< scheme-construction randomness only
+};
+
+/// Outcome of replaying one scheme against a trace.
+struct TraceReplayResult {
+  std::string scheme;
+  std::size_t iterations = 0;
+  std::size_t failures = 0;
+  double total_time = 0.0;
+  RunningStats iteration_time;
+  ReservoirQuantiles latency{1024};
+};
+
+/// Replay `trace` (one row per iteration, wrapping) under `kind` on
+/// `cluster`. The trace must have exactly one column per cluster worker.
+TraceReplayResult replay_trace(SchemeKind kind, const Cluster& cluster,
+                               const DelayTrace& trace,
+                               const TraceReplayConfig& config);
+
+/// Replay several schemes against the same trace. Fairness is structural:
+/// every scheme's iteration i runs under the identical trace row.
+std::vector<TraceReplayResult> replay_trace_comparison(
+    const std::vector<SchemeKind>& kinds, const Cluster& cluster,
+    const DelayTrace& trace, const TraceReplayConfig& config);
+
+}  // namespace hgc::engine

@@ -1,9 +1,9 @@
 #include "net/coded_round.hpp"
 
-#include <algorithm>
+#include <utility>
 
-#include "core/decoder.hpp"
-#include "net/wire.hpp"
+#include "engine/link.hpp"
+#include "engine/round.hpp"
 #include "util/error.hpp"
 
 namespace hgc {
@@ -13,61 +13,26 @@ NetworkRoundResult run_coded_round(
     const IterationConditions& conditions,
     const std::vector<Vector>& partition_gradients, SimulatedNetwork& network,
     std::uint64_t iteration) {
-  const std::size_t m = scheme.num_workers();
-  HGC_REQUIRE(cluster.size() == m, "cluster size must match scheme workers");
-  HGC_REQUIRE(conditions.size() == m, "conditions size mismatch");
-  HGC_REQUIRE(network.nodes() >= m + 1,
+  HGC_REQUIRE(network.nodes() >= scheme.num_workers() + 1,
               "network needs one node per worker plus the master");
-  const NodeId master = m;
-  const std::size_t k = scheme.num_partitions();
+
+  // Full-payload round on the event engine: serialize → transmit over the
+  // lossy link → parse in arrival order → streaming decode.
+  engine::NetworkLink link(network);
+  engine::RoundOptions options;
+  options.partition_gradients = &partition_gradients;
+  options.wire_frames = true;
+  options.iteration = iteration;
+  engine::RoundOutcome round =
+      engine::run_round(scheme, cluster, conditions, link, options);
 
   NetworkRoundResult result;
-
-  // Worker side: compute, encode, serialize, transmit.
-  struct Arrival {
-    double time;
-    std::vector<std::byte> frame;
-  };
-  std::vector<Arrival> arrivals;
-  for (WorkerId w = 0; w < m; ++w) {
-    if (conditions.faulted[w] || scheme.load(w) == 0) continue;
-    const double rate =
-        cluster.worker(w).throughput * conditions.speed_factor[w];
-    const double share =
-        static_cast<double>(scheme.load(w)) / static_cast<double>(k);
-    const double send_time = share / rate + conditions.delay[w];
-
-    GradientMessage message;
-    message.worker = static_cast<std::uint32_t>(w);
-    message.iteration = iteration;
-    message.payload = encode_gradient(scheme, w, partition_gradients);
-    std::vector<std::byte> frame = encode_message(message);
-
-    const auto arrival =
-        network.transmit(w, master, frame.size(), send_time);
-    if (!arrival) {
-      ++result.dropped;  // lost in flight: one more silent straggler
-      continue;
-    }
-    arrivals.push_back({*arrival, std::move(frame)});
-  }
-  std::sort(arrivals.begin(), arrivals.end(),
-            [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
-
-  // Master side: parse frames in arrival order, decode at the earliest
-  // sufficient set.
-  StreamingDecoder decoder(scheme);
-  for (Arrival& arrival : arrivals) {
-    GradientMessage message = decode_message(arrival.frame);
-    HGC_ASSERT(message.iteration == iteration, "cross-iteration frame");
-    decoder.add_result(message.worker, std::move(message.payload));
-    if (decoder.ready()) {
-      result.decoded = true;
-      result.time = arrival.time;
-      result.results_used = decoder.results_received();
-      result.aggregate = decoder.aggregate();
-      break;
-    }
+  result.decoded = round.decoded;
+  result.dropped = round.dropped;
+  if (round.decoded) {
+    result.time = round.time;
+    result.results_used = round.results_used;
+    result.aggregate = std::move(round.aggregate);
   }
   return result;
 }

@@ -1,22 +1,13 @@
 #include "runtime/ssp_trainer.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
+#include <utility>
 
+#include "engine/simulation.hpp"
 #include "util/error.hpp"
 
 namespace hgc {
-namespace {
-
-struct FinishEvent {
-  double time;
-  WorkerId worker;
-  bool operator>(const FinishEvent& other) const {
-    return time > other.time || (time == other.time && worker > other.worker);
-  }
-};
-
-}  // namespace
 
 SspTrainingResult train_ssp(const Cluster& cluster, const Model& model,
                             const Dataset& data,
@@ -41,13 +32,13 @@ SspTrainingResult train_ssp(const Cluster& cluster, const Model& model,
   const double push_lr =
       config.learning_rate / static_cast<double>(m);
 
-  // Worker state.
+  // Worker state. SSP is a free-running protocol, so unlike the BSP round
+  // (engine::run_round) there is no per-iteration barrier: every worker
+  // keeps its own clock on one long-lived event loop.
   std::vector<std::size_t> clock(m, 0);
   std::vector<Vector> snapshot(m);          // params seen at pull time
   std::vector<bool> blocked(m, false);
-  std::priority_queue<FinishEvent, std::vector<FinishEvent>,
-                      std::greater<FinishEvent>>
-      events;
+  engine::Simulation sim;
 
   // Per-worker-step condition draw. SSP has no global iteration, so the
   // straggler model is applied marginally: each step is delayed with
@@ -77,13 +68,6 @@ SspTrainingResult train_ssp(const Cluster& cluster, const Model& model,
     return base + delay + config.comm_latency;
   };
 
-  auto start_worker = [&](WorkerId w, double now) {
-    snapshot[w] = params;  // pull
-    events.push({now + compute_duration(w), w});
-  };
-
-  for (WorkerId w = 0; w < m; ++w) start_worker(w, 0.0);
-
   const std::size_t total_pushes = config.iterations * m;
   std::size_t pushes = 0;
   std::size_t blocked_events = 0;
@@ -93,14 +77,17 @@ SspTrainingResult train_ssp(const Cluster& cluster, const Model& model,
   result.trace.label = "ssp";
   result.trace.points.push_back({0.0, mean_loss(model, data, params), 0});
 
-  double now = 0.0;
   Vector grad(model.num_params());
-  while (pushes < total_pushes && !events.empty()) {
-    const FinishEvent ev = events.top();
-    events.pop();
-    now = ev.time;
-    const WorkerId w = ev.worker;
+  std::function<void(WorkerId)> on_push_complete;
+  // Tag = worker id: simultaneous finishes pop in worker order, exactly the
+  // (time, worker) comparator of the trainer's old private priority queue.
+  auto start_worker = [&](WorkerId w) {
+    snapshot[w] = params;  // pull
+    sim.schedule_after(compute_duration(w), [&, w] { on_push_complete(w); },
+                       w);
+  };
 
+  on_push_complete = [&](WorkerId w) {
     // Push: gradient of w's shard at the parameters w pulled (stale).
     std::fill(grad.begin(), grad.end(), 0.0);
     model.loss_and_gradient(data, shards[w], snapshot[w], grad);
@@ -119,23 +106,27 @@ SspTrainingResult train_ssp(const Cluster& cluster, const Model& model,
 
     if (pushes % (m * config.record_every) == 0 || pushes == total_pushes)
       result.trace.points.push_back(
-          {now, mean_loss(model, data, params), pushes / m});
+          {sim.now(), mean_loss(model, data, params), pushes / m});
 
     // Restart w unless the staleness bound blocks it.
     if (clock[w] - min_clock > config.staleness) {
       blocked[w] = true;
       ++blocked_events;
     } else {
-      start_worker(w, now);
+      start_worker(w);
     }
     // min_clock may have advanced: release any blocked workers now inside
     // the staleness window.
     for (WorkerId other = 0; other < m; ++other) {
       if (blocked[other] && clock[other] - min_clock <= config.staleness) {
         blocked[other] = false;
-        start_worker(other, now);
+        start_worker(other);
       }
     }
+  };
+
+  for (WorkerId w = 0; w < m; ++w) start_worker(w);
+  while (pushes < total_pushes && sim.step()) {
   }
 
   result.mean_clock_spread =

@@ -31,7 +31,8 @@ std::size_t exact_partition_count(const Cluster& cluster, std::size_t s,
 }
 
 SchemeSummary run_experiment(SchemeKind kind, const Cluster& cluster,
-                             const ExperimentConfig& config) {
+                             const ExperimentConfig& config,
+                             std::vector<IterationConditions>* conditions_log) {
   HGC_REQUIRE(config.iterations > 0, "need at least one iteration");
   const std::size_t m = cluster.size();
   const std::size_t k = resolve_partitions(config, m);
@@ -54,6 +55,7 @@ SchemeSummary run_experiment(SchemeKind kind, const Cluster& cluster,
   summary.iterations = config.iterations;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     const IterationConditions conditions = config.model.draw(m, condition_rng);
+    if (conditions_log) conditions_log->push_back(conditions);
     const IterationResult result =
         simulate_iteration(*scheme, cluster, conditions, config.sim);
     if (!result.decoded) {

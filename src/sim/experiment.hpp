@@ -43,9 +43,13 @@ struct SchemeSummary {
   bool ever_failed() const { return failures > 0; }
 };
 
-/// Run one scheme through the experiment.
+/// Run one scheme through the experiment. When `conditions_log` is non-null
+/// the per-iteration conditions are appended to it, which is how tests pin
+/// down the fairness contract (identical logs across schemes).
 SchemeSummary run_experiment(SchemeKind kind, const Cluster& cluster,
-                             const ExperimentConfig& config);
+                             const ExperimentConfig& config,
+                             std::vector<IterationConditions>* conditions_log =
+                                 nullptr);
 
 /// Run several schemes under identical per-iteration conditions.
 std::vector<SchemeSummary> compare_schemes(

@@ -1,8 +1,9 @@
 #include "sim/iteration.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
+#include "engine/link.hpp"
+#include "engine/round.hpp"
 #include "util/error.hpp"
 
 namespace hgc {
@@ -11,57 +12,20 @@ IterationResult simulate_iteration(const CodingScheme& scheme,
                                    const Cluster& cluster,
                                    const IterationConditions& conditions,
                                    const SimParams& params) {
-  const std::size_t m = scheme.num_workers();
-  HGC_REQUIRE(cluster.size() == m, "cluster size must match scheme workers");
-  HGC_REQUIRE(conditions.size() == m, "conditions size must match workers");
   HGC_REQUIRE(params.comm_latency >= 0.0, "latency must be non-negative");
 
-  const std::size_t k = scheme.num_partitions();
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-
-  // Per-worker compute and arrival times.
-  std::vector<double> compute_time(m, kInf);
-  std::vector<std::pair<double, WorkerId>> arrivals;
-  for (WorkerId w = 0; w < m; ++w) {
-    if (conditions.faulted[w] || scheme.load(w) == 0) continue;
-    const double rate =
-        cluster.worker(w).throughput * conditions.speed_factor[w];
-    HGC_ASSERT(rate > 0.0, "effective worker rate must be positive");
-    const double share =
-        static_cast<double>(scheme.load(w)) / static_cast<double>(k);
-    compute_time[w] = share / rate;
-    arrivals.emplace_back(
-        compute_time[w] + conditions.delay[w] + params.comm_latency, w);
-  }
-  std::sort(arrivals.begin(), arrivals.end());
+  // Timing-only round on the event engine over a constant-latency link.
+  engine::FixedLatencyLink link(params.comm_latency);
+  engine::RoundOutcome round =
+      engine::run_round(scheme, cluster, conditions, link);
 
   IterationResult result;
-  result.compute_times = compute_time;
-  std::vector<bool> received(m, false);
-  std::size_t count = 0;
-  for (const auto& [at, w] : arrivals) {
-    received[w] = true;
-    ++count;
-    if (count < scheme.min_results_required()) continue;
-    if (auto coefficients = scheme.decoding_coefficients(received)) {
-      result.decoded = true;
-      result.time = at;
-      result.results_used = count;
-      result.coefficients = std::move(coefficients);
-      break;
-    }
-  }
-  if (!result.decoded) return result;
-
-  // Resource usage: busy = computing time clipped to the iteration window.
-  double busy_total = 0.0;
-  for (WorkerId w = 0; w < m; ++w) {
-    if (conditions.faulted[w]) continue;
-    if (compute_time[w] == kInf) continue;  // idle worker, no data
-    busy_total += std::min(compute_time[w], result.time);
-  }
-  result.resource_usage =
-      busy_total / (static_cast<double>(m) * result.time);
+  result.decoded = round.decoded;
+  result.time = round.time;
+  result.results_used = round.results_used;
+  result.resource_usage = round.resource_usage;
+  result.coefficients = std::move(round.coefficients);
+  result.compute_times = std::move(round.compute_times);
   return result;
 }
 

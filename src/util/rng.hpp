@@ -16,6 +16,15 @@
 
 namespace hgc {
 
+/// splitmix64 finalizer: scrambles a 64-bit value into a well-mixed one.
+/// Shared by Rng::fork (child-seed derivation) and the lightweight counter
+/// streams that cannot afford a full mt19937_64 (e.g. ReservoirQuantiles).
+inline std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Seeded pseudo-random generator with convenience draws used across the
 /// library. Wraps std::mt19937_64; copyable and cheap to fork.
 class Rng {
@@ -27,10 +36,7 @@ class Rng {
   Rng fork() {
     // splitmix64 of the next raw draw decorrelates child seeds even for
     // consecutive parent states.
-    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return Rng(z ^ (z >> 31));
+    return Rng(splitmix64_mix(engine_() + 0x9e3779b97f4a7c15ULL));
   }
 
   std::uint64_t seed() const { return seed_; }

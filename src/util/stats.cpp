@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace hgc {
 
@@ -41,6 +42,35 @@ void RunningStats::merge(const RunningStats& other) {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   count_ += other.count_;
+}
+
+ReservoirQuantiles::ReservoirQuantiles(std::size_t capacity,
+                                       std::uint64_t seed)
+    : capacity_(capacity), state_(seed) {
+  HGC_REQUIRE(capacity > 0, "reservoir capacity must be positive");
+  sample_.reserve(capacity);
+}
+
+std::uint64_t ReservoirQuantiles::next_u64() {
+  // splitmix64 counter stream: small, fast, and plenty for reservoir
+  // replacement indices.
+  return splitmix64_mix(state_ += 0x9e3779b97f4a7c15ULL);
+}
+
+void ReservoirQuantiles::add(double x) {
+  ++count_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // Algorithm R: keep the new sample with probability capacity / count.
+  const std::uint64_t slot = next_u64() % count_;
+  if (slot < capacity_) sample_[slot] = x;
+}
+
+double ReservoirQuantiles::quantile(double q) const {
+  HGC_REQUIRE(count_ > 0, "quantile of an empty reservoir");
+  return percentile(sample_, q);
 }
 
 double mean(std::span<const double> xs) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -31,6 +32,39 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Streaming quantile estimator over a fixed-capacity uniform reservoir
+/// (Vitter's algorithm R) — the engine's round-latency reporting wants
+/// p50/p95/p99 without storing every sample of a long run. Quantiles are
+/// exact while count() <= capacity and an unbiased-sample estimate after.
+/// Replacement decisions come from an internal splitmix64 stream, so results
+/// are deterministic for a given seed and insertion order.
+class ReservoirQuantiles {
+ public:
+  explicit ReservoirQuantiles(std::size_t capacity = 1024,
+                              std::uint64_t seed = 0x5eed);
+
+  void add(double x);
+
+  /// Total samples observed (not just those retained).
+  std::size_t count() const { return count_; }
+  std::size_t sample_size() const { return sample_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Linear-interpolated quantile, q in [0, 100]. Requires count() > 0.
+  double quantile(double q) const;
+  double p50() const { return quantile(50.0); }
+  double p95() const { return quantile(95.0); }
+  double p99() const { return quantile(99.0); }
+
+ private:
+  std::uint64_t next_u64();
+
+  std::vector<double> sample_;
+  std::size_t capacity_;
+  std::size_t count_ = 0;
+  std::uint64_t state_;
 };
 
 /// Arithmetic mean; 0 for an empty span.

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/decoder.hpp"
+#include "core/group_based.hpp"
 #include "core/heter_aware.hpp"
 #include "core/naive.hpp"
 #include "core/robustness.hpp"
@@ -108,6 +109,75 @@ TEST(StreamingDecoder, ResetAllowsReuse) {
     decoder.add_result(w, encode_gradient(scheme, w, grads));
   EXPECT_TRUE(decoder.ready());
   EXPECT_NEAR(decoder.aggregate()[0], 14.0, 1e-8);
+}
+
+TEST(StreamingDecoder, GroupFastPathDecodesBelowFullQuorum) {
+  // Group-based {1,2,3,4,4}: groups {0,1,4} and {2,3}, so
+  // min_results_required() is 2 — far below the m−s = 4 of heter-aware.
+  // Arrival order 2, 3 completes a group: the first arrival must be skipped
+  // by the fast path (count < min) and the second must decode immediately.
+  Rng rng(41);
+  GroupBasedScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  ASSERT_EQ(scheme.min_results_required(), 2u);
+  StreamingDecoder decoder(scheme);
+  std::vector<Vector> grads(7);
+  for (std::size_t p = 0; p < 7; ++p) grads[p] = {double(p + 1)};
+
+  EXPECT_FALSE(decoder.add_result(2, encode_gradient(scheme, 2, grads)));
+  EXPECT_FALSE(decoder.ready());
+  EXPECT_TRUE(decoder.add_result(3, encode_gradient(scheme, 3, grads)));
+  EXPECT_TRUE(decoder.ready());
+  EXPECT_EQ(decoder.results_received(), 2u);
+  EXPECT_NEAR(decoder.aggregate()[0], 28.0, 1e-8);
+}
+
+TEST(StreamingDecoder, ArrivalOrderPastMinRequiresMoreSolves) {
+  // Arrival order 0, 1, 2, 4: counts 2 and 3 are at/above the group-based
+  // minimum but undecodable (no complete group, fewer than active−s
+  // results), so the decoder keeps answering "not yet" until group {0,1,4}
+  // completes on the fourth arrival. Worker 2's result ends up unused.
+  Rng rng(41);
+  GroupBasedScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  StreamingDecoder decoder(scheme);
+  std::vector<Vector> grads(7);
+  for (std::size_t p = 0; p < 7; ++p) grads[p] = {double(p + 1)};
+
+  EXPECT_FALSE(decoder.add_result(0, encode_gradient(scheme, 0, grads)));
+  EXPECT_FALSE(decoder.add_result(1, encode_gradient(scheme, 1, grads)));
+  EXPECT_FALSE(decoder.add_result(2, encode_gradient(scheme, 2, grads)));
+  EXPECT_TRUE(decoder.add_result(4, encode_gradient(scheme, 4, grads)));
+  EXPECT_EQ(decoder.results_received(), 4u);
+  EXPECT_NEAR(decoder.aggregate()[0], 28.0, 1e-8);
+  EXPECT_DOUBLE_EQ(decoder.coefficients()[2], 0.0);
+  EXPECT_EQ(decoder.unused_workers(), (std::vector<WorkerId>{2}));
+
+  // A result arriving after decodability is recorded but changes nothing.
+  EXPECT_FALSE(decoder.add_result(3, encode_gradient(scheme, 3, grads)));
+  EXPECT_EQ(decoder.results_received(), 5u);
+  EXPECT_NEAR(decoder.aggregate()[0], 28.0, 1e-8);
+}
+
+TEST(StreamingDecoder, DuplicateAfterDecodabilityStillThrows) {
+  Rng rng(41);
+  GroupBasedScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  StreamingDecoder decoder(scheme);
+  std::vector<Vector> grads(7);
+  for (std::size_t p = 0; p < 7; ++p) grads[p] = {1.0};
+  decoder.add_result(2, encode_gradient(scheme, 2, grads));
+  decoder.add_result(3, encode_gradient(scheme, 3, grads));
+  ASSERT_TRUE(decoder.ready());
+  EXPECT_THROW(decoder.add_result(2, encode_gradient(scheme, 2, grads)),
+               std::invalid_argument);
+}
+
+TEST(StreamingDecoder, ResetClearsDuplicateTracking) {
+  Rng rng(55);
+  HeterAwareScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);
+  StreamingDecoder decoder(scheme);
+  decoder.add_result(0, Vector{1.0});
+  decoder.reset();
+  // The same worker may report again in the next iteration.
+  EXPECT_NO_THROW(decoder.add_result(0, Vector{1.0}));
 }
 
 TEST(OnesInRowSpan, BasicGeometry) {

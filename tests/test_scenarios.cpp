@@ -1,0 +1,230 @@
+// Tests for the engine scenario drivers: delay-trace replay and worker churn.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "engine/delay_trace.hpp"
+#include "engine/scenario.hpp"
+
+namespace hgc {
+namespace {
+
+using engine::ChurnConfig;
+using engine::ChurnEvent;
+using engine::DelayTrace;
+using engine::TraceReplayConfig;
+
+TEST(DelayTrace, ParsesCsvWithCommentsAndBlankLines) {
+  std::istringstream in(
+      "# provenance: crafted by hand\n"
+      "0.0, 0.5, 0.0\n"
+      "\n"
+      "0.25,0.0,-1\n");
+  const DelayTrace trace = engine::parse_delay_trace_csv(in);
+  EXPECT_EQ(trace.num_iterations(), 2u);
+  EXPECT_EQ(trace.num_workers(), 3u);
+  EXPECT_DOUBLE_EQ(trace.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(trace.at(1, 0), 0.25);
+  EXPECT_LT(trace.at(1, 2), 0.0);  // fault marker
+}
+
+TEST(DelayTrace, NegativeCellsBecomeFaults) {
+  std::istringstream in("0.1,-1,0\n");
+  const DelayTrace trace = engine::parse_delay_trace_csv(in);
+  const IterationConditions cond = trace.conditions(0);
+  EXPECT_DOUBLE_EQ(cond.delay[0], 0.1);
+  EXPECT_FALSE(cond.faulted[0]);
+  EXPECT_TRUE(cond.faulted[1]);
+  EXPECT_DOUBLE_EQ(cond.delay[1], 0.0);
+  EXPECT_DOUBLE_EQ(cond.speed_factor[2], 1.0);
+}
+
+TEST(DelayTrace, ReplayWrapsAroundTheTrace) {
+  std::istringstream in("1,1\n2,2\n");
+  const DelayTrace trace = engine::parse_delay_trace_csv(in);
+  EXPECT_DOUBLE_EQ(trace.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.at(5, 1), 2.0);
+}
+
+TEST(DelayTrace, RejectsMalformedInput) {
+  std::istringstream ragged("1,2\n3\n");
+  EXPECT_THROW(engine::parse_delay_trace_csv(ragged), std::invalid_argument);
+  std::istringstream garbage("1,oops\n");
+  EXPECT_THROW(engine::parse_delay_trace_csv(garbage), std::invalid_argument);
+  std::istringstream empty("# only a comment\n");
+  EXPECT_THROW(engine::parse_delay_trace_csv(empty), std::invalid_argument);
+  std::istringstream trailing("1,2x\n");
+  EXPECT_THROW(engine::parse_delay_trace_csv(trailing), std::invalid_argument);
+}
+
+TEST(DelayTrace, RoundTripsThroughCsv) {
+  const DelayTrace trace({{0.0, 1.5, -1.0}, {0.25, 0.0, 3.0}});
+  std::ostringstream out;
+  engine::write_delay_trace_csv(trace, out);
+  std::istringstream in(out.str());
+  const DelayTrace back = engine::parse_delay_trace_csv(in);
+  EXPECT_EQ(back.rows(), trace.rows());
+}
+
+TEST(DelayTrace, LoadsFromFileAndRejectsMissingFile) {
+  const std::string path = "delay_trace_test_tmp.csv";
+  {
+    std::ofstream out(path);
+    out << "0.5,0\n0,0.5\n";
+  }
+  const DelayTrace trace = engine::load_delay_trace_csv(path);
+  EXPECT_EQ(trace.num_iterations(), 2u);
+  std::remove(path.c_str());
+  EXPECT_THROW(engine::load_delay_trace_csv("does_not_exist.csv"),
+               std::invalid_argument);
+}
+
+TEST(TraceReplay, AbsorbsTracedStragglersLikeTheModel) {
+  // Worker 3 is delayed every iteration; s = 1 absorbs it, so heter-aware
+  // replays at the ideal time as if the trace were clean.
+  const Cluster cluster = cluster_a();
+  std::vector<std::vector<double>> rows(10, std::vector<double>(8, 0.0));
+  for (auto& row : rows) row[3] = 5.0;
+  const DelayTrace trace(std::move(rows));
+
+  TraceReplayConfig config;
+  config.s = 1;
+  config.k = 24;
+  const auto result =
+      engine::replay_trace(SchemeKind::kHeterAware, cluster, trace, config);
+  EXPECT_EQ(result.iterations, 10u);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_NEAR(result.iteration_time.mean(), ideal_iteration_time(cluster, 1),
+              1e-9);
+  EXPECT_NEAR(result.latency.p99(), ideal_iteration_time(cluster, 1), 1e-9);
+}
+
+TEST(TraceReplay, FaultRowsKillNaiveButNotCoded) {
+  const Cluster cluster = cluster_a();
+  std::vector<std::vector<double>> rows(6, std::vector<double>(8, 0.0));
+  rows[2][5] = -1.0;  // worker 5 faults on iteration 2 only
+  const DelayTrace trace(std::move(rows));
+
+  TraceReplayConfig config;
+  config.s = 1;
+  const auto results = engine::replay_trace_comparison(
+      {SchemeKind::kNaive, SchemeKind::kHeterAware}, cluster, trace, config);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].failures, 1u);  // naive loses exactly the fault row
+  EXPECT_EQ(results[1].failures, 0u);
+}
+
+TEST(TraceReplay, IterationCountDefaultsToTraceLengthAndWraps) {
+  const Cluster cluster = cluster_a();
+  const DelayTrace trace(
+      std::vector<std::vector<double>>(4, std::vector<double>(8, 0.0)));
+  TraceReplayConfig config;
+  const auto one_pass =
+      engine::replay_trace(SchemeKind::kCyclic, cluster, trace, config);
+  EXPECT_EQ(one_pass.iterations, 4u);
+
+  config.iterations = 10;  // wraps around the 4-row trace
+  const auto wrapped =
+      engine::replay_trace(SchemeKind::kCyclic, cluster, trace, config);
+  EXPECT_EQ(wrapped.iterations, 10u);
+  EXPECT_NEAR(wrapped.total_time, 2.5 * one_pass.total_time, 1e-9);
+}
+
+TEST(TraceReplay, RejectsWidthMismatch) {
+  const Cluster cluster = cluster_a();  // 8 workers
+  const DelayTrace trace({{0.0, 0.0, 0.0}});
+  EXPECT_THROW(engine::replay_trace(SchemeKind::kCyclic, cluster, trace, {}),
+               std::invalid_argument);
+}
+
+TEST(Churn, StableMembershipNeverReinstantiates) {
+  ChurnConfig config;
+  config.iterations = 20;
+  config.model.num_stragglers = 1;
+  config.model.delay_seconds = 0.2;
+  const auto result =
+      engine::run_churn_scenario(SchemeKind::kHeterAware, cluster_a(), config);
+  EXPECT_EQ(result.iterations_run, 20u);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.reinstantiations, 0u);
+  EXPECT_EQ(result.epoch_sizes, (std::vector<std::size_t>{8}));
+  EXPECT_GT(result.total_time, 0.0);
+  EXPECT_EQ(result.latency.count(), 20u);
+  EXPECT_LE(result.latency.p50(), result.latency.p99());
+}
+
+TEST(Churn, LeaveAndJoinEachReinstantiate) {
+  ChurnConfig config;
+  config.iterations = 30;
+  // After ~5 virtual seconds worker 7 (the fast one) leaves; later two fresh
+  // workers join.
+  config.events.push_back({0.05, false, 7, {}});
+  config.events.push_back({0.30, true, 0, {4, 4.0}});
+  config.events.push_back({0.30, true, 0, {2, 2.0}});
+  const auto result =
+      engine::run_churn_scenario(SchemeKind::kHeterAware, cluster_a(), config);
+  EXPECT_EQ(result.reinstantiations, 2u);  // both joins land in one rebuild
+  EXPECT_EQ(result.epoch_sizes, (std::vector<std::size_t>{8, 7, 9}));
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.iterations_run, 30u);
+}
+
+TEST(Churn, DepartedWorkerCanBeNamedByStableId) {
+  ChurnConfig config;
+  config.iterations = 10;
+  config.events.push_back({0.0, true, 0, {8, 8.0}});   // joins as id 8
+  config.events.push_back({0.10, false, 8, {}});       // and leaves again
+  const auto result =
+      engine::run_churn_scenario(SchemeKind::kCyclic, cluster_a(), config);
+  EXPECT_EQ(result.reinstantiations, 2u);
+  EXPECT_EQ(result.epoch_sizes, (std::vector<std::size_t>{8, 9, 8}));
+}
+
+TEST(Churn, RejectsBadEventStreams) {
+  ChurnConfig config;
+  config.iterations = 5;
+  config.events.push_back({1.0, false, 3, {}});
+  config.events.push_back({0.5, false, 4, {}});  // unsorted
+  EXPECT_THROW(
+      engine::run_churn_scenario(SchemeKind::kCyclic, cluster_a(), config),
+      std::invalid_argument);
+
+  ChurnConfig unknown;
+  unknown.iterations = 5;
+  unknown.events.push_back({0.0, false, 42, {}});  // no such worker
+  EXPECT_THROW(
+      engine::run_churn_scenario(SchemeKind::kCyclic, cluster_a(), unknown),
+      std::invalid_argument);
+}
+
+TEST(Churn, RefusesToShrinkBelowTolerance) {
+  const Cluster tiny("tiny", {{1, 1.0}, {1, 1.0}, {1, 1.0}});
+  ChurnConfig config;
+  config.iterations = 5;
+  config.s = 1;
+  config.events.push_back({0.0, false, 0, {}});  // 2 left < s + 2
+  EXPECT_THROW(
+      engine::run_churn_scenario(SchemeKind::kCyclic, tiny, config),
+      std::invalid_argument);
+}
+
+TEST(Churn, DeterministicForFixedSeed) {
+  ChurnConfig config;
+  config.iterations = 25;
+  config.model.num_stragglers = 1;
+  config.model.fluctuation_sigma = 0.05;
+  config.events.push_back({0.10, false, 2, {}});
+  const auto a =
+      engine::run_churn_scenario(SchemeKind::kHeterAware, cluster_a(), config);
+  const auto b =
+      engine::run_churn_scenario(SchemeKind::kHeterAware, cluster_a(), config);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.reinstantiations, b.reinstantiations);
+  EXPECT_DOUBLE_EQ(a.latency.p95(), b.latency.p95());
+}
+
+}  // namespace
+}  // namespace hgc

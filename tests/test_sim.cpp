@@ -199,6 +199,40 @@ TEST(Experiment, NaiveFailsUnderFaults) {
   EXPECT_TRUE(summary.ever_failed());
 }
 
+TEST(Experiment, FairnessContractIdenticalConditionsAcrossSchemes) {
+  // The fairness contract of compare_schemes: every scheme run under the
+  // same ExperimentConfig seed must observe the exact same per-iteration
+  // straggler victims, fault flags, delays, and fluctuations — even though
+  // schemes consume different amounts of construction randomness and
+  // estimation noise is switched on.
+  const Cluster cluster = cluster_a();
+  ExperimentConfig config;
+  config.iterations = 40;
+  config.model.num_stragglers = 2;
+  config.model.delay_seconds = 0.3;
+  config.model.fluctuation_sigma = 0.1;
+  config.estimation_sigma = 0.2;
+
+  std::vector<IterationConditions> base_log;
+  run_experiment(SchemeKind::kNaive, cluster, config, &base_log);
+  ASSERT_EQ(base_log.size(), 40u);
+
+  for (SchemeKind kind : {SchemeKind::kCyclic, SchemeKind::kHeterAware,
+                          SchemeKind::kGroupBased}) {
+    std::vector<IterationConditions> log;
+    run_experiment(kind, cluster, config, &log);
+    ASSERT_EQ(log.size(), base_log.size()) << to_string(kind);
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(log[i].speed_factor, base_log[i].speed_factor)
+          << to_string(kind) << " iteration " << i;
+      EXPECT_EQ(log[i].delay, base_log[i].delay)
+          << to_string(kind) << " iteration " << i;
+      EXPECT_EQ(log[i].faulted, base_log[i].faulted)
+          << to_string(kind) << " iteration " << i;
+    }
+  }
+}
+
 TEST(Experiment, ResolvePartitionsDefault) {
   ExperimentConfig config;
   EXPECT_EQ(resolve_partitions(config, 8), 16u);

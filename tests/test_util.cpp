@@ -167,6 +167,53 @@ TEST(Stats, PercentileRejectsBadInput) {
   EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
 }
 
+TEST(ReservoirQuantiles, ExactWhileUnderCapacity) {
+  ReservoirQuantiles q(1024);
+  for (int i = 100; i >= 1; --i) q.add(static_cast<double>(i));
+  EXPECT_EQ(q.count(), 100u);
+  EXPECT_EQ(q.sample_size(), 100u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(q.p50(), 50.5);
+  std::vector<double> xs(100);
+  for (int i = 0; i < 100; ++i) xs[i] = i + 1.0;
+  EXPECT_DOUBLE_EQ(q.p95(), percentile(xs, 95.0));
+  EXPECT_DOUBLE_EQ(q.p99(), percentile(xs, 99.0));
+}
+
+TEST(ReservoirQuantiles, ApproximatesLargeStreams) {
+  // 200k uniform(0,1) samples through a 512-slot reservoir: quantiles land
+  // within a few percent of truth.
+  ReservoirQuantiles q(512);
+  Rng rng(21);
+  for (int i = 0; i < 200000; ++i) q.add(rng.uniform());
+  EXPECT_EQ(q.count(), 200000u);
+  EXPECT_EQ(q.sample_size(), 512u);
+  EXPECT_NEAR(q.p50(), 0.5, 0.08);
+  EXPECT_NEAR(q.p95(), 0.95, 0.05);
+  EXPECT_NEAR(q.p99(), 0.99, 0.03);
+  EXPECT_LE(q.p50(), q.p95());
+  EXPECT_LE(q.p95(), q.p99());
+}
+
+TEST(ReservoirQuantiles, DeterministicForSeedAndOrder) {
+  ReservoirQuantiles a(64, 7), b(64, 7);
+  Rng ra(3), rb(3);
+  for (int i = 0; i < 5000; ++i) a.add(ra.normal());
+  for (int i = 0; i < 5000; ++i) b.add(rb.normal());
+  EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+}
+
+TEST(ReservoirQuantiles, RejectsBadInput) {
+  EXPECT_THROW(ReservoirQuantiles(0), std::invalid_argument);
+  ReservoirQuantiles q;
+  EXPECT_THROW(q.quantile(50.0), std::invalid_argument);  // empty
+  q.add(1.0);
+  EXPECT_THROW(q.quantile(-1.0), std::invalid_argument);
+  EXPECT_THROW(q.quantile(101.0), std::invalid_argument);
+}
+
 TEST(Stats, KahanSumHandlesSmallTerms) {
   std::vector<double> xs(1000000, 1e-10);
   xs.push_back(1.0);
