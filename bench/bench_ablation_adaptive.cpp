@@ -1,5 +1,10 @@
 // Ablation — online estimation and adaptive re-coding.
 //
+// Grid: exec::adaptive_sweep(iters) — phase {cold-start, drift} × mode
+// {static, adaptive} on Cluster-A; the four cells run in parallel through
+// exec::run_sweep and emit w0..w4 window means plus the re-code count
+// (same grid as `hgc_sweep --grid adaptive`).
+//
 // Two operational scenarios beyond the paper's one-shot construction:
 //  (1) cold start: the master knows nothing (uniform estimates) and must
 //      learn Cluster-A's heterogeneity from per-iteration telemetry;
@@ -7,70 +12,76 @@
 //      transient stragglers keep contending for the straggler budget.
 #include <iostream>
 
-#include "sim/adaptive.hpp"
+#include "exec/figures.hpp"
+#include "sim/iteration.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+double window_metric(const hgc::exec::ResultTable& table, const char* phase,
+                     const char* mode, const std::string& name) {
+  double v = 0.0;
+  table.find({{"phase", phase}, {"mode", mode}})->value(name, v);
+  return v;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hgc;
-  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 300;
+  const auto [iterations, options] =
+      exec::parse_bench_args(argc, argv, 300);
+
   const Cluster cluster = cluster_a();
   const double ideal = ideal_iteration_time(cluster, 1);
-
   std::cout << "=== Ablation: adaptive re-coding (Cluster-A, heter-aware, "
                "s = 1) ===\n\n";
+
+  const exec::ResultTable table =
+      exec::run_figure(exec::adaptive_sweep(iterations), options);
+  const std::size_t w = iterations / 5;
 
   {
     std::cout << "--- Cold start: uniform initial estimates, EWMA telemetry, "
                  "re-code check every 10 iters ---\n\n";
-    AdaptiveConfig config;
-    config.iterations = iterations;
-    config.k = 48;
-    config.recode_every = 10;
-    const auto adaptive = run_adaptive(cluster, config);
-    AdaptiveConfig frozen = config;
-    frozen.recode_every = 0;
-    const auto fixed = run_adaptive(cluster, frozen);
-
-    TablePrinter table({"window (iters)", "static (uniform belief)",
-                        "adaptive", "ideal"});
-    const std::size_t w = iterations / 5;
+    TablePrinter printer({"window (iters)", "static (uniform belief)",
+                          "adaptive", "ideal"});
     for (std::size_t i = 0; i < 5; ++i) {
-      table.add_row({std::to_string(i * w) + ".." + std::to_string((i + 1) * w),
-                     TablePrinter::num(fixed.window_mean(i * w, (i + 1) * w), 4),
-                     TablePrinter::num(adaptive.window_mean(i * w, (i + 1) * w), 4),
-                     TablePrinter::num(ideal, 4)});
+      const std::string metric = "w" + std::to_string(i);
+      printer.add_row(
+          {std::to_string(i * w) + ".." + std::to_string((i + 1) * w),
+           TablePrinter::num(
+               window_metric(table, "cold-start", "static", metric), 4),
+           TablePrinter::num(
+               window_metric(table, "cold-start", "adaptive", metric), 4),
+           TablePrinter::num(ideal, 4)});
     }
-    table.print(std::cout);
-    std::cout << "re-codes performed: " << adaptive.recodes << "\n\n";
+    printer.print(std::cout);
+    std::cout << "re-codes performed: "
+              << static_cast<std::size_t>(
+                     window_metric(table, "cold-start", "adaptive",
+                                   "recodes"))
+              << "\n\n";
   }
 
   {
-    std::cout << "--- Drift: worker 7 (12 vCPUs) slows 4x at iteration "
-              << iterations / 3 << ", transient straggler every iteration ---\n\n";
-    AdaptiveConfig config;
-    config.iterations = iterations;
-    config.k = 48;
-    config.recode_every = 10;
-    config.initial_estimates = cluster.throughputs();
-    config.model.num_stragglers = 1;
-    config.model.delay_seconds = 4.0 * ideal;
-    config.drift.at_iteration = iterations / 3;
-    config.drift.worker = cluster.size() - 1;
-    config.drift.factor = 0.25;
-    const auto adaptive = run_adaptive(cluster, config);
-    AdaptiveConfig frozen = config;
-    frozen.recode_every = 0;
-    const auto fixed = run_adaptive(cluster, frozen);
-
-    TablePrinter table({"window (iters)", "static", "adaptive"});
-    const std::size_t w = iterations / 5;
+    std::cout << "--- Drift: worker " << cluster.size() - 1
+              << " (12 vCPUs) slows 4x at iteration " << iterations / 3
+              << ", transient straggler every iteration ---\n\n";
+    TablePrinter printer({"window (iters)", "static", "adaptive"});
     for (std::size_t i = 0; i < 5; ++i) {
-      table.add_row({std::to_string(i * w) + ".." + std::to_string((i + 1) * w),
-                     TablePrinter::num(fixed.window_mean(i * w, (i + 1) * w), 4),
-                     TablePrinter::num(adaptive.window_mean(i * w, (i + 1) * w), 4)});
+      const std::string metric = "w" + std::to_string(i);
+      printer.add_row(
+          {std::to_string(i * w) + ".." + std::to_string((i + 1) * w),
+           TablePrinter::num(window_metric(table, "drift", "static", metric),
+                             4),
+           TablePrinter::num(
+               window_metric(table, "drift", "adaptive", metric), 4)});
     }
-    table.print(std::cout);
-    std::cout << "re-codes performed: " << adaptive.recodes
+    printer.print(std::cout);
+    std::cout << "re-codes performed: "
+              << static_cast<std::size_t>(
+                     window_metric(table, "drift", "adaptive", "recodes"))
               << "\n\nExpected shape: identical before the drift; after it "
                  "the static code must spend\nits straggler budget on the "
                  "slowed worker (transient delays surface), while\nadaptive "

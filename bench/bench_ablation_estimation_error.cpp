@@ -1,52 +1,53 @@
 // Ablation — throughput-estimation error (the motivation for Section V).
 //
+// Grid: exec::sigma_grid(iters, 10) — σ × {cyclic, heter, group} × seeds
+// 1..10 on Cluster-A, run in parallel through exec::run_sweep, then
+// collapsed over the seed axis with ResultTable::aggregate_over — the
+// per-seed RunningStats merge exactly, so the reported means equal one
+// sequential pass over all 10×iters iterations. (Same grid as `hgc_sweep
+// --grid sigma --aggregate seed`.)
+//
 // The paper argues that c_i "is hard to be measured exactly because of tiny
 // fluctuation in runtime", and proposes the group-based scheme to recover
-// the loss: a complete fast group decodes with fewer results than the
-// m−s that Alg. 1 needs, trimming the tail that misallocation adds. This
-// bench sweeps the estimation-noise σ and reports mean iteration time for
-// heter-aware vs group-based (plus cyclic as the noise-free anchor).
+// the loss: a complete fast group decodes with fewer results than the m−s
+// that Alg. 1 needs, trimming the tail that misallocation adds.
 #include <iostream>
 
-#include "sim/experiment.hpp"
-#include "util/stats.hpp"
+#include "exec/figures.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hgc;
-  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 150;
+  const auto [iterations, options] =
+      exec::parse_bench_args(argc, argv, 150);
   const std::size_t seeds = 10;
 
-  const Cluster cluster = cluster_a();
   std::cout << "=== Ablation: sensitivity to throughput-estimation error "
                "(Cluster-A, s = 1, mean over " << seeds << " seeds x "
             << iterations << " iters) ===\n\n";
 
+  const exec::SweepGrid grid = exec::sigma_grid(iterations, seeds);
+  const exec::ResultTable by_sigma =
+      exec::run_sweep(grid, options).aggregate_over("seed");
+
   TablePrinter table({"estimation sigma", "cyclic", "heter-aware",
                       "group-based", "group gain vs heter"});
-  for (double sigma : {0.0, 0.1, 0.2, 0.3, 0.5}) {
-    RunningStats cyclic, heter, group;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      ExperimentConfig config;
-      config.s = 1;
-      config.k = exact_partition_count(cluster, 1);
-      config.iterations = iterations;
-      config.estimation_sigma = sigma;
-      config.model.fluctuation_sigma = 0.05;
-      config.seed = seed;
-      const auto summaries = compare_schemes(
-          {SchemeKind::kCyclic, SchemeKind::kHeterAware,
-           SchemeKind::kGroupBased},
-          cluster, config);
-      cyclic.add(summaries[0].mean_time());
-      heter.add(summaries[1].mean_time());
-      group.add(summaries[2].mean_time());
-    }
-    const double gain = 100.0 * (heter.mean() - group.mean()) / heter.mean();
+  for (double sigma : grid.sigmas) {
+    const std::string sigma_key = exec::ResultTable::format_double(sigma);
+    const auto mean_time = [&](const char* scheme) {
+      double v = 0.0;
+      by_sigma.find({{"sigma", sigma_key}, {"scheme", scheme}})
+          ->value("time", v);
+      return v;
+    };
+    const double cyclic = mean_time("cyclic");
+    const double heter = mean_time("heter-aware");
+    const double group = mean_time("group-based");
+    const double gain = 100.0 * (heter - group) / heter;
     table.add_row({TablePrinter::num(sigma, 2),
-                   TablePrinter::num(cyclic.mean(), 4),
-                   TablePrinter::num(heter.mean(), 4),
-                   TablePrinter::num(group.mean(), 4),
+                   TablePrinter::num(cyclic, 4),
+                   TablePrinter::num(heter, 4),
+                   TablePrinter::num(group, 4),
                    TablePrinter::num(gain, 1) + "%"});
   }
   table.print(std::cout);

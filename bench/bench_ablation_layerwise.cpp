@@ -2,26 +2,19 @@
 // half of resource is idle due to communication overhead, this can be solved
 // by … cod[ing] gradients layer by layer" à la Poseidon [42]).
 //
-// Sweeps the communication-to-compute ratio and the number of layers; the
+// Grid: exec::layerwise_sweep(iters) — transfer/compute ratio × layer count
+// for heter-aware on Cluster-A, cells run in parallel through
+// exec::run_sweep (same grid as `hgc_sweep --grid layerwise`). The
 // pipelined sender hides all but the last layer's transfer behind compute.
 #include <iostream>
 
-#include "core/scheme_factory.hpp"
-#include "sim/layerwise.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
+#include "exec/figures.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hgc;
-  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 200;
-
-  const Cluster cluster = cluster_a();
-  const std::size_t s = 1;
-  Rng rng(19);
-  const auto scheme =
-      make_scheme(SchemeKind::kHeterAware, cluster.throughputs(), 24, s, rng);
-  const double t0 = ideal_iteration_time(cluster, s);
+  const auto [iterations, options] =
+      exec::parse_bench_args(argc, argv, 200);
 
   std::cout << "=== Ablation: layer-wise coded sends (Cluster-A, "
                "heter-aware, s = 1) ===\n\n"
@@ -30,38 +23,34 @@ int main(int argc, char** argv) {
             << "Transfer = full-gradient transmit time as a multiple of the "
                "ideal compute time.\n\n";
 
-  StragglerModel model;
-  model.num_stragglers = 1;
-  model.delay_seconds = 2.0 * t0;
-  model.fluctuation_sigma = 0.05;
+  const exec::FigureSweep figure = exec::layerwise_sweep(iterations);
+  const exec::ResultTable table = exec::run_figure(figure, options);
+  const exec::CustomAxis& ratios = figure.grid.custom_axes[0];
+  const exec::CustomAxis& layers = figure.grid.custom_axes[1];
 
-  TablePrinter table({"transfer/compute", "L=1 (monolithic)", "L=2", "L=4",
-                      "L=8", "L=32", "overlap gain L=32"});
-  for (double ratio : {0.25, 0.5, 1.0, 2.0}) {
+  std::vector<std::string> headers = {"transfer/compute"};
+  headers.push_back("L=1 (monolithic)");
+  for (std::size_t i = 1; i < layers.labels.size(); ++i)
+    headers.push_back(layers.labels[i]);
+  headers.push_back("overlap gain L=32");
+  TablePrinter printer(std::move(headers));
+
+  for (double ratio : ratios.values) {
+    const std::string ratio_key = exec::ResultTable::format_double(ratio);
     std::vector<std::string> row = {TablePrinter::num(ratio, 2)};
     double mono = 0.0, best = 0.0;
-    for (std::size_t layers : {1u, 2u, 4u, 8u, 32u}) {
-      LayerwiseParams params;
-      params.layer_fractions = equal_layers(layers);
-      params.full_transfer_time = ratio * t0;
-      params.per_message_latency = 0.002 * t0;
-      Rng condition_rng(101);
-      RunningStats stats;
-      for (std::size_t iter = 0; iter < iterations; ++iter) {
-        const auto cond = model.draw(cluster.size(), condition_rng);
-        const auto result =
-            simulate_layerwise_iteration(*scheme, cluster, cond, params);
-        if (result.decoded) stats.add(result.time);
-      }
-      row.push_back(TablePrinter::num(stats.mean(), 4));
-      if (layers == 1) mono = stats.mean();
-      best = stats.mean();
+    for (std::size_t i = 0; i < layers.values.size(); ++i) {
+      double time = 0.0;
+      table.find({{"transfer", ratio_key}, {"layers", layers.labels[i]}})
+          ->value("time", time);
+      row.push_back(TablePrinter::num(time, 4));
+      if (i == 0) mono = time;
+      best = time;
     }
-    row.push_back(
-        TablePrinter::num(100.0 * (mono - best) / mono, 1) + "%");
-    table.add_row(row);
+    row.push_back(TablePrinter::num(100.0 * (mono - best) / mono, 1) + "%");
+    printer.add_row(row);
   }
-  table.print(std::cout);
+  printer.print(std::cout);
 
   std::cout << "\nExpected shape: the gain grows with the transfer/compute "
                "ratio and saturates in L\n(only the last layer's slice plus "

@@ -1,77 +1,49 @@
 // Ablation — message loss as a straggler source.
 //
+// Grid: exec::loss_sweep(iters) — per-message drop probability × scheme on
+// Cluster-A (s = 2), each cell running full serialize→transmit→parse coded
+// rounds over the simulated network; cells run in parallel through
+// exec::run_sweep (same grid as `hgc_sweep --grid loss`).
+//
 // The paper's full-straggler model ("arbitrarily slow to the extent of
 // complete failure") covers lost results exactly: a dropped message is a
-// worker that never responds. This bench runs full serialize→transmit→parse
-// coded rounds over the simulated network and sweeps the per-message drop
-// probability: coded schemes ride through losses up to their budget with no
-// retransmission machinery, while naive must fail whenever any message
-// drops.
+// worker that never responds. Coded schemes ride through losses up to their
+// budget with no retransmission machinery, while naive must fail whenever
+// any message drops.
 #include <iostream>
 
-#include "core/scheme_factory.hpp"
-#include "net/coded_round.hpp"
-#include "sim/experiment.hpp"
-#include "util/stats.hpp"
+#include "exec/figures.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hgc;
-  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 300;
-
-  const Cluster cluster = cluster_a();
-  const std::size_t m = cluster.size();
-  const std::size_t s = 2;
-  const std::size_t k = exact_partition_count(cluster, s);
+  const auto [iterations, options] =
+      exec::parse_bench_args(argc, argv, 300);
 
   std::cout << "=== Ablation: per-message drop probability (Cluster-A, "
                "s = 2, real wire frames) ===\n\n"
             << "cells: mean decode time (s) / % of rounds that failed\n\n";
 
-  // Tiny synthetic partition gradients (dimension 8) — the bench measures
-  // protocol behaviour, not FLOPs.
-  Rng grad_rng(23);
-  std::vector<Vector> grads(k);
-  for (auto& g : grads) {
-    g.resize(8);
-    for (double& v : g) v = grad_rng.normal();
-  }
+  const exec::FigureSweep figure = exec::loss_sweep(iterations);
+  const exec::ResultTable table = exec::run_figure(figure, options);
 
-  TablePrinter table({"drop prob", "naive", "cyclic", "heter-aware",
-                      "group-based"});
-  for (double drop : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+  TablePrinter printer({"drop prob", "naive", "cyclic", "heter-aware",
+                        "group-based"});
+  for (double drop : figure.grid.custom_axes[0].values) {
+    const std::string drop_key = exec::ResultTable::format_double(drop);
     std::vector<std::string> row = {TablePrinter::num(drop, 2)};
-    for (SchemeKind kind : paper_schemes()) {
-      Rng scheme_rng(29);
-      const auto scheme =
-          make_scheme(kind, cluster.throughputs(), k, s, scheme_rng);
-      // Naive has k = m partitions; regenerate gradients at its size.
-      std::vector<Vector> local = grads;
-      local.resize(scheme->num_partitions(), Vector(8, 0.1));
-
-      SimulatedNetwork network(m + 1, {0.001, 1e8, drop}, Rng(31));
-      StragglerModel model;
-      model.fluctuation_sigma = 0.02;
-      Rng condition_rng(37);
-      RunningStats times;
-      std::size_t failures = 0;
-      for (std::size_t iter = 0; iter < iterations; ++iter) {
-        const auto cond = model.draw(m, condition_rng);
-        const auto result =
-            run_coded_round(*scheme, cluster, cond, local, network, iter);
-        if (result.decoded)
-          times.add(result.time);
-        else
-          ++failures;
-      }
-      row.push_back(
-          TablePrinter::num(times.mean(), 4) + " / " +
-          TablePrinter::num(100.0 * static_cast<double>(failures) /
-                                static_cast<double>(iterations), 1) + "%");
+    for (SchemeKind kind : figure.grid.schemes) {
+      const exec::ResultRow* cell =
+          table.find({{"drop", drop_key}, {"scheme", to_string(kind)}});
+      double time = 0.0, fail_pct = 0.0;
+      cell->value("time", time);
+      cell->value("fail_pct", fail_pct);
+      row.push_back(TablePrinter::num(time, 4) + " / " +
+                    TablePrinter::num(fail_pct, 1) + "%");
     }
-    table.add_row(row);
+    printer.add_row(row);
   }
-  table.print(std::cout);
+  printer.print(std::cout);
 
   std::cout << "\nExpected shape: naive's failure rate ≈ 1−(1−p)^m (any "
                "loss kills the round);\ncoded schemes stay near-zero until "

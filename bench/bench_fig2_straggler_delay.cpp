@@ -1,71 +1,53 @@
 // Fig. 2 — average time per iteration vs injected straggler delay on
 // Cluster-A, for s = 1 (Fig. 2a) and s = 2 (Fig. 2b).
 //
-// The paper delays s random workers per iteration by a growing amount, with
-// "fault" the limit of infinite delay. Expected shape (paper Section VI-A1):
-// naive grows linearly and cannot run under faults; cyclic is delay-robust
-// but pinned to the slowest surviving worker; heter-aware and group-based
-// stay at the balanced optimum — ~3× faster than cyclic at full fault.
+// Grid: exec::fig2_grid(s, iters) — scheme × {0, 0.5, 1, 2, 4, 8}× ideal
+// delay + fault, one panel per s; cells run in parallel through
+// exec::run_sweep (same grid as `hgc_sweep --grid fig2`). Expected shape
+// (paper Section VI-A1): naive grows linearly and cannot run under faults;
+// cyclic is delay-robust but pinned to the slowest surviving worker;
+// heter-aware and group-based stay at the balanced optimum — ~3× faster
+// than cyclic at full fault.
 #include <iostream>
 
-#include "sim/experiment.hpp"
+#include "exec/figures.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-void run_panel(const hgc::Cluster& cluster, std::size_t s,
-               std::size_t iterations) {
+void run_panel(std::size_t s, std::size_t iterations,
+               const hgc::exec::SweepOptions& options) {
   using namespace hgc;
-  const double t0 = ideal_iteration_time(cluster, s);
+  const exec::SweepGrid grid = exec::fig2_grid(s, iterations);
   std::cout << "--- Fig. 2" << (s == 1 ? "a" : "b") << ": s = " << s
-            << " straggler(s), " << cluster.name() << ", avg time/iter (s) "
-            << "over " << iterations << " iterations ---\n\n";
+            << " straggler(s), " << grid.clusters[0].name()
+            << ", avg time/iter (s) over " << iterations
+            << " iterations ---\n\n";
 
-  ExperimentConfig config;
-  config.s = s;
-  config.k = exact_partition_count(cluster, s);
-  config.iterations = iterations;
-  config.model.num_stragglers = s;
-  config.model.fluctuation_sigma = 0.02;
-
-  TablePrinter table(
-      {"injected delay", "naive", "cyclic", "heter-aware", "group-based"});
-  auto emit = [&](const std::string& label) {
-    const auto summaries = compare_schemes(paper_schemes(), cluster, config);
-    std::vector<std::string> row = {label};
-    for (const auto& summary : summaries)
-      row.push_back(summary.ever_failed()
-                        ? "fail"
-                        : TablePrinter::num(summary.mean_time(), 4));
-    table.add_row(row);
-  };
-
-  for (double factor : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    config.model.delay_seconds = factor * t0;
-    config.model.fault = false;
-    emit(TablePrinter::num(factor, 1) + " x ideal");
-  }
-  config.model.fault = true;
-  emit("fault (inf)");
-  table.print(std::cout);
+  const exec::ResultTable table = exec::run_sweep(grid, options);
+  table.pivot("model", "scheme", "time").print(std::cout);
 
   // The paper's headline: heter-aware vs cyclic at fault.
-  const auto at_fault =
-      compare_schemes({SchemeKind::kCyclic, SchemeKind::kHeterAware}, cluster,
-                      config);
+  double cyclic = 0.0, heter = 0.0;
+  table.find({{"model", "fault (inf)"}, {"scheme", "cyclic"}})
+      ->value("time", cyclic);
+  table.find({{"model", "fault (inf)"}, {"scheme", "heter-aware"}})
+      ->value("time", heter);
   std::cout << "\nheter-aware speedup over cyclic at fault: "
-            << TablePrinter::num(
-                   at_fault[0].mean_time() / at_fault[1].mean_time(), 2)
+            << TablePrinter::num(cyclic / heter, 2)
             << "x  (paper: up to 3x; cluster bound mean(c)/min(c) = "
-            << TablePrinter::num(cluster.heterogeneity_ratio(), 2) << ")\n\n";
+            << TablePrinter::num(grid.clusters[0].heterogeneity_ratio(), 2)
+            << ")\n\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 300;
+  using namespace hgc;
+  const auto [iterations, options] =
+      exec::parse_bench_args(argc, argv, 300);
   std::cout << "=== Fig. 2: robustness to stragglers (Cluster-A) ===\n\n";
-  run_panel(hgc::cluster_a(), 1, iterations);
-  run_panel(hgc::cluster_a(), 2, iterations);
+  run_panel(1, iterations, options);
+  run_panel(2, iterations, options);
   return 0;
 }

@@ -1,47 +1,41 @@
 // Fig. 3 — average time per iteration on Cluster-B/C/D (16/32/58 workers).
 //
-// The paper's generality experiment: same protocol as Fig. 2 but across
-// cluster scales and heterogeneity mixes, with background fluctuation on.
-// Expected shape: heter-aware and group-based win on every cluster; cyclic
-// can be *worse* than naive ("aggregates the straggler problem by allocating
-// equivalent workload to each worker with different computing capacity" —
-// its per-worker load is (s+1)× naive's, all pinned to the slowest machine).
+// Grid: exec::fig3_grid(iters) — scheme × cluster with one straggler at 4×
+// ideal and 5% fluctuation, run in parallel through exec::run_sweep (same
+// grid as `hgc_sweep --grid fig3`). Expected shape: heter-aware and
+// group-based win on every cluster; cyclic can be *worse* than naive
+// ("aggregates the straggler problem by allocating equivalent workload to
+// each worker with different computing capacity" — its per-worker load is
+// (s+1)× naive's, all pinned to the slowest machine).
 #include <iostream>
 
-#include "sim/experiment.hpp"
+#include "exec/figures.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hgc;
-  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 200;
+  const auto [iterations, options] =
+      exec::parse_bench_args(argc, argv, 200);
 
   std::cout << "=== Fig. 3: avg time/iter across clusters (s = 1, delay on 1 "
                "random worker, fluctuation 5%) ===\n\n";
 
-  TablePrinter table({"cluster", "m", "naive", "cyclic", "heter-aware",
-                      "group-based", "heter speedup vs cyclic"});
-  for (const Cluster& cluster :
-       {cluster_b(), cluster_c(), cluster_d()}) {
-    ExperimentConfig config;
-    config.s = 1;
-    config.k = exact_partition_count(cluster, 1);
-    config.iterations = iterations;
-    config.model.num_stragglers = 1;
-    config.model.delay_seconds = 4.0 * ideal_iteration_time(cluster, 1);
-    config.model.fluctuation_sigma = 0.05;
+  const exec::SweepGrid grid = exec::fig3_grid(iterations);
+  const exec::ResultTable table = exec::run_sweep(grid, options);
+  table.pivot("cluster", "scheme", "time").print(std::cout);
 
-    const auto summaries = compare_schemes(paper_schemes(), cluster, config);
-    std::vector<std::string> row = {cluster.name(),
-                                    std::to_string(cluster.size())};
-    for (const auto& summary : summaries)
-      row.push_back(summary.ever_failed()
-                        ? "fail"
-                        : TablePrinter::num(summary.mean_time(), 4));
-    row.push_back(TablePrinter::num(
-        summaries[1].mean_time() / summaries[2].mean_time(), 2) + "x");
-    table.add_row(row);
+  std::cout << "\n";
+  TablePrinter speedups({"cluster", "m", "heter speedup vs cyclic"});
+  for (const Cluster& cluster : grid.clusters) {
+    double cyclic = 0.0, heter = 0.0;
+    table.find({{"cluster", cluster.name()}, {"scheme", "cyclic"}})
+        ->value("time", cyclic);
+    table.find({{"cluster", cluster.name()}, {"scheme", "heter-aware"}})
+        ->value("time", heter);
+    speedups.add_row({cluster.name(), std::to_string(cluster.size()),
+                      TablePrinter::num(cyclic / heter, 2) + "x"});
   }
-  table.print(std::cout);
+  speedups.print(std::cout);
 
   std::cout << "\nExpected shape (paper Fig. 3): heter-aware/group-based "
                "lowest on every cluster;\ncyclic at or above naive (uniform "

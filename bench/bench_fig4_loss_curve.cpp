@@ -1,63 +1,63 @@
 // Fig. 4 — training-loss curves vs wall time on Cluster-C.
 //
-// The paper trains image classifiers under BSP with each coding scheme and
-// under SSP, and plots loss against time. Substitution (DESIGN.md §5): a
-// softmax classifier on synthetic 10-class Gaussian data stands in for
+// Grid: exec::fig4_sweep(iters) — the five series (four coded BSP schemes +
+// SSP) are cells of a `series` axis, each training a real model; the cells
+// run in parallel through exec::run_sweep and emit their sampled curve as
+// t<i>/loss<i> metrics (same grid as `hgc_sweep --grid fig4`, whose CSV is
+// bit-identical at any --threads). Substitution (DESIGN.md §5): a softmax
+// classifier on synthetic 10-class Gaussian data stands in for
 // PyTorch/CIFAR — the coding layer only ever sees gradient vectors, and the
 // curve ordering is driven by time-per-iteration (BSP) and staleness (SSP),
 // both faithfully reproduced. Expected shape: group-based ≈ heter-aware
 // fastest, cyclic a little better than naive, SSP worst.
+//
+// The non-IID panel is exec::fig4_noniid_sweep — label-sorted shards on
+// Cluster-A, where the approximate baselines pay a statistical price coded
+// BSP does not.
+#include <cmath>
 #include <iostream>
 
-#include "runtime/sim_trainer.hpp"
-#include "runtime/ssp_trainer.hpp"
-#include "sim/experiment.hpp"
+#include "exec/figures.hpp"
+#include "runtime/loss_trace.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Rebuild the training curve a fig4 cell flattened into t<i>/loss<i>.
+hgc::LossTrace trace_from_row(const hgc::exec::ResultRow& row) {
+  hgc::LossTrace trace;
+  trace.label = *row.axis("series");
+  for (std::size_t i = 0;; ++i) {
+    double t = 0.0, loss = 0.0;
+    if (!row.value("t" + std::to_string(i), t) ||
+        !row.value("loss" + std::to_string(i), loss))
+      break;
+    trace.points.push_back({t, loss, i});
+  }
+  return trace;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hgc;
-  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 80;
+  const auto [iterations, options] =
+      exec::parse_bench_args(argc, argv, 80);
 
-  const Cluster cluster = cluster_c();
-  const std::size_t s = 1;
-  const std::size_t k = exact_partition_count(cluster, s);
-
-  Rng data_rng(11);
-  const Dataset data = make_synthetic_cifar10(1024, data_rng, 32);
-  SoftmaxRegression model(data.dim(), data.num_classes);
-
+  const exec::FigureSweep figure = exec::fig4_sweep(iterations);
+  const Cluster& cluster = figure.grid.clusters[0];
   std::cout << "=== Fig. 4: training loss vs time, " << cluster.name()
-            << " (" << cluster.size() << " workers), " << model.name()
-            << " on synthetic CIFAR-10 stand-in (" << data.size()
-            << " samples) ===\n\n";
+            << " (" << cluster.size()
+            << " workers), softmax regression on synthetic CIFAR-10 "
+               "stand-in ===\n\n";
 
-  BspTrainingConfig config;
-  config.iterations = iterations;
-  config.sgd.learning_rate = 0.4;
-  config.straggler_model.num_stragglers = 1;
-  config.straggler_model.delay_seconds =
-      2.0 * ideal_iteration_time(cluster, s);
-  config.straggler_model.fluctuation_sigma = 0.05;
-  config.record_every = iterations / 8;
-
+  const exec::ResultTable table = exec::run_figure(figure, options);
   std::vector<LossTrace> traces;
-  for (SchemeKind kind : paper_schemes()) {
-    auto result =
-        train_bsp_coded(kind, cluster, model, data, k, s, config);
-    traces.push_back(std::move(result.trace));
-  }
-
-  SspTrainingConfig ssp_config;
-  ssp_config.iterations = iterations;
-  ssp_config.learning_rate = 0.4;
-  ssp_config.staleness = 3;
-  ssp_config.straggler_model = config.straggler_model;
-  ssp_config.record_every = std::max<std::size_t>(1, iterations / 8);
-  auto ssp = train_ssp(cluster, model, data, ssp_config);
-  traces.push_back(std::move(ssp.trace));
+  for (const exec::ResultRow& row : table.rows())
+    traces.push_back(trace_from_row(row));
 
   std::cout << "Loss curve samples (time in seconds | loss):\n\n";
-  TablePrinter table({"series", "points (time|loss)..."});
+  TablePrinter curve({"series", "points (time|loss)..."});
   for (const LossTrace& trace : traces) {
     std::string cells;
     for (const TracePoint& p : trace.points) {
@@ -65,9 +65,9 @@ int main(int argc, char** argv) {
       cells += TablePrinter::num(p.time, 2) + "|" +
                TablePrinter::num(p.loss, 3);
     }
-    table.add_row({trace.label, cells});
+    curve.add_row({trace.label, cells});
   }
-  table.print(std::cout);
+  curve.print(std::cout);
 
   // Convergence-speed summary: time to reach the common reachable loss.
   double target = 0.0;
@@ -91,40 +91,24 @@ int main(int argc, char** argv) {
   // --- Non-IID panel: the paper's "unbalanced contributions" argument ---
   // On label-sorted data every shard is class-pure. BSP coded schemes are
   // immune (the decoded gradient is exact regardless of layout); SSP's
-  // fast-worker bias and the ignore-stragglers dropper now pay a visible
-  // statistical price for the same gradient work. Cluster-A makes the
-  // effect stark: with 8 shards over 4 classes, an always-dropped shard is
-  // a whole class, and the 12-vCPU worker pushes 6× more SSP updates of its
-  // own classes than the 2-vCPU machines do of theirs.
+  // fast-worker bias and the ignore-stragglers dropper pay a visible
+  // statistical price for the same gradient work.
   std::cout << "\n--- Non-IID shards (label-sorted data, Cluster-A): final "
                "loss after the same gradient work ---\n\n";
-  const Cluster small = cluster_a();
-  Rng noniid_rng(13);
-  const Dataset sorted = sort_by_label(
-      make_gaussian_classification(256, 16, 4, 2.5, noniid_rng));
-  SoftmaxRegression small_model(sorted.dim(), sorted.num_classes);
-  BspTrainingConfig sorted_config = config;
-  sorted_config.straggler_model = {};
-  auto heter_sorted =
-      train_bsp_coded(SchemeKind::kHeterAware, small, small_model, sorted,
-                      exact_partition_count(small, s), s, sorted_config);
-  SspTrainingConfig ssp_sorted_config = ssp_config;
-  ssp_sorted_config.straggler_model = {};
-  auto ssp_sorted = train_ssp(small, small_model, sorted, ssp_sorted_config);
-  auto ignore_sorted = train_bsp_ignore_stragglers(small, small_model, sorted,
-                                                   s, sorted_config);
-
-  TablePrinter noniid({"series", "final loss", "note"});
-  noniid.add_row({"heter-aware (coded BSP)",
-                  TablePrinter::num(heter_sorted.trace.final_loss(), 4),
-                  "exact gradient: immune to data layout"});
-  noniid.add_row({"ssp",
-                  TablePrinter::num(ssp_sorted.trace.final_loss(), 4),
-                  "fast workers over-represent their classes"});
-  noniid.add_row({"ignore-stragglers [35,36]",
-                  TablePrinter::num(ignore_sorted.trace.final_loss(), 4),
-                  "dropped slow shards = dropped classes"});
-  noniid.print(std::cout);
+  const exec::ResultTable noniid =
+      exec::run_figure(exec::fig4_noniid_sweep(iterations), options);
+  const char* notes[] = {"exact gradient: immune to data layout",
+                         "fast workers over-represent their classes",
+                         "dropped slow shards = dropped classes"};
+  TablePrinter panel({"series", "final loss", "note"});
+  for (std::size_t i = 0; i < noniid.size(); ++i) {
+    const exec::ResultRow& row = noniid.row(i);
+    double final_loss = 0.0;
+    row.value("final_loss", final_loss);
+    panel.add_row({*row.axis("series"), TablePrinter::num(final_loss, 4),
+                   notes[i < 3 ? i : 2]});
+  }
+  panel.print(std::cout);
   std::cout << "\nExpected shape: coded BSP lowest; the approximate methods "
                "degrade once shards\nare skewed — the accuracy cost the "
                "paper declines to pay.\n";

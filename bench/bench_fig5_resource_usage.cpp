@@ -1,42 +1,43 @@
 // Fig. 5 — computing-resource usage of each coding scheme.
 //
-// usage = Σ_i computing_time_i / Σ_i total_time_i per iteration. The paper
-// reports naive below 20–30% (fast workers idle at the barrier), cyclic in
-// between (drops stragglers but keeps uniform loads), and the two
-// heterogeneity-aware schemes highest.
+// Grid: exec::fig5_grid(iters) — scheme × clusters A–D, one straggler at 2×
+// ideal, 5% fluctuation, run in parallel through exec::run_sweep (same grid
+// as `hgc_sweep --grid fig5`; the metric is `usage` = Σ_i computing_time_i /
+// Σ_i total_time_i per iteration). The paper reports naive below 20–30%
+// (fast workers idle at the barrier), cyclic in between (drops stragglers
+// but keeps uniform loads), and the two heterogeneity-aware schemes highest.
 #include <iostream>
 
-#include "sim/experiment.hpp"
+#include "exec/figures.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hgc;
-  const std::size_t iterations = argc > 1 ? std::stoul(argv[1]) : 200;
+  const auto [iterations, options] =
+      exec::parse_bench_args(argc, argv, 200);
 
   std::cout << "=== Fig. 5: computing resource usage (s = 1, delay on 1 "
                "random worker, fluctuation 5%) ===\n\n";
 
-  TablePrinter table({"cluster", "naive", "cyclic", "heter-aware",
-                      "group-based"});
-  for (const Cluster& cluster : paper_clusters()) {
-    ExperimentConfig config;
-    config.s = 1;
-    config.k = exact_partition_count(cluster, 1);
-    config.iterations = iterations;
-    config.model.num_stragglers = 1;
-    config.model.delay_seconds = 2.0 * ideal_iteration_time(cluster, 1);
-    config.model.fluctuation_sigma = 0.05;
+  const exec::SweepGrid grid = exec::fig5_grid(iterations);
+  const exec::ResultTable table = exec::run_sweep(grid, options);
 
-    const auto summaries = compare_schemes(paper_schemes(), cluster, config);
+  TablePrinter printer({"cluster", "naive", "cyclic", "heter-aware",
+                        "group-based"});
+  for (const Cluster& cluster : grid.clusters) {
     std::vector<std::string> row = {cluster.name()};
-    for (const auto& summary : summaries)
-      row.push_back(
-          summary.ever_failed()
-              ? "fail"
-              : TablePrinter::num(100.0 * summary.mean_usage(), 1) + "%");
-    table.add_row(row);
+    for (SchemeKind kind : grid.schemes) {
+      const exec::ResultRow* cell = table.find(
+          {{"cluster", cluster.name()}, {"scheme", to_string(kind)}});
+      double usage = 0.0;
+      row.push_back(!cell->note.empty()
+                        ? cell->note
+                        : (cell->value("usage", usage),
+                           TablePrinter::num(100.0 * usage, 1) + "%"));
+    }
+    printer.add_row(row);
   }
-  table.print(std::cout);
+  printer.print(std::cout);
 
   std::cout << "\nExpected shape (paper Fig. 5): naive lowest (slowest VM "
                "gates the barrier),\ncyclic intermediate, heter-aware and "

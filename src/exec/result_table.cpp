@@ -1,0 +1,298 @@
+#include "exec/result_table.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace hgc::exec {
+
+namespace {
+
+/// Append `name` to `out` if not already present (first-appearance order).
+void note_column(std::vector<std::string>& out, const std::string& name) {
+  if (std::find(out.begin(), out.end(), name) == out.end())
+    out.push_back(name);
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string* ResultRow::axis(const std::string& name) const {
+  for (const auto& [axis_name, value] : axes)
+    if (axis_name == name) return &value;
+  return nullptr;
+}
+
+bool ResultRow::value(const std::string& name, double& out) const {
+  for (const auto& [metric_name, v] : metrics) {
+    if (metric_name == name) {
+      out = v;
+      return true;
+    }
+  }
+  for (const auto& [stat_name, s] : stats) {
+    if (name == stat_name || name == stat_name + "_mean") {
+      out = s.mean();
+      return true;
+    }
+    if (name == stat_name + "_stddev") {
+      out = s.stddev();
+      return true;
+    }
+    if (name == stat_name + "_count") {
+      out = static_cast<double>(s.count());
+      return true;
+    }
+  }
+  for (const auto& [q_name, q] : quantiles) {
+    const bool has = q.count() > 0;
+    if (name == q_name + "_p50" || name == q_name) {
+      out = has ? q.p50() : 0.0;
+      return true;
+    }
+    if (name == q_name + "_p95") {
+      out = has ? q.p95() : 0.0;
+      return true;
+    }
+    if (name == q_name + "_p99") {
+      out = has ? q.p99() : 0.0;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> ResultTable::columns() const {
+  std::vector<std::string> axis_cols, value_cols;
+  bool any_note = false;
+  for (const ResultRow& row : rows_) {
+    for (const auto& [name, unused] : row.axes) note_column(axis_cols, name);
+    for (const auto& [name, unused] : row.stats) {
+      note_column(value_cols, name + "_mean");
+      note_column(value_cols, name + "_stddev");
+      note_column(value_cols, name + "_count");
+    }
+    for (const auto& [name, unused] : row.quantiles) {
+      note_column(value_cols, name + "_p50");
+      note_column(value_cols, name + "_p95");
+      note_column(value_cols, name + "_p99");
+    }
+    for (const auto& [name, unused] : row.metrics)
+      note_column(value_cols, name);
+    any_note = any_note || !row.note.empty();
+  }
+  axis_cols.insert(axis_cols.end(), value_cols.begin(), value_cols.end());
+  if (any_note) axis_cols.push_back("note");
+  return axis_cols;
+}
+
+void ResultTable::to_csv(std::ostream& os) const {
+  const std::vector<std::string> cols = columns();
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    os << (i ? "," : "") << csv_escape(cols[i]);
+  os << '\n';
+  for (const ResultRow& row : rows_) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (i) os << ',';
+      const std::string& col = cols[i];
+      if (col == "note") {
+        os << csv_escape(row.note);
+        continue;
+      }
+      if (const std::string* axis_value = row.axis(col)) {
+        os << csv_escape(*axis_value);
+        continue;
+      }
+      double v;
+      if (row.value(col, v)) os << format_double(v);
+    }
+    os << '\n';
+  }
+}
+
+void ResultTable::to_json(std::ostream& os) const {
+  const std::vector<std::string> cols = columns();
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const ResultRow& row = rows_[r];
+    os << "  {\"axes\": {";
+    for (std::size_t i = 0; i < row.axes.size(); ++i)
+      os << (i ? ", " : "") << '"' << json_escape(row.axes[i].first)
+         << "\": \"" << json_escape(row.axes[i].second) << '"';
+    os << "}, \"metrics\": {";
+    bool first = true;
+    for (const std::string& col : cols) {
+      if (col == "note" || row.axis(col)) continue;
+      double v;
+      if (!row.value(col, v)) continue;
+      os << (first ? "" : ", ") << '"' << json_escape(col) << "\": ";
+      if (std::isfinite(v))
+        os << format_double(v);
+      else
+        os << '"' << format_double(v) << '"';
+      first = false;
+    }
+    os << '}';
+    if (!row.note.empty())
+      os << ", \"note\": \"" << json_escape(row.note) << '"';
+    os << '}' << (r + 1 < rows_.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+}
+
+TablePrinter ResultTable::pivot(const std::string& row_axis,
+                                const std::string& col_axis,
+                                const std::string& metric,
+                                int precision) const {
+  std::vector<std::string> row_keys, col_keys;
+  for (const ResultRow& row : rows_) {
+    if (const std::string* v = row.axis(row_axis)) note_column(row_keys, *v);
+    if (const std::string* v = row.axis(col_axis)) note_column(col_keys, *v);
+  }
+  std::vector<std::string> headers = {row_axis};
+  headers.insert(headers.end(), col_keys.begin(), col_keys.end());
+  TablePrinter table(std::move(headers));
+  for (const std::string& rk : row_keys) {
+    std::vector<std::string> cells = {rk};
+    for (const std::string& ck : col_keys) {
+      const ResultRow* row = find({{row_axis, rk}, {col_axis, ck}});
+      std::string cell;
+      double v;
+      if (!row)
+        cell = "";
+      else if (!row->note.empty())
+        cell = row->note;
+      else if (row->value(metric, v))
+        cell = TablePrinter::num(v, precision);
+      cells.push_back(std::move(cell));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+ResultTable ResultTable::aggregate_over(const std::string& axis) const {
+  // Accumulators per group, in first-appearance order.
+  struct Group {
+    ResultRow row;  ///< axes minus `axis`; stats/quantiles merged in place
+    std::vector<std::pair<std::string, RunningStats>> metric_acc;
+    std::size_t cells = 0;
+  };
+  std::vector<Group> groups;
+  std::map<std::string, std::size_t> index;
+  for (const ResultRow& row : rows_) {
+    std::string key;
+    for (const auto& [name, value] : row.axes)
+      if (name != axis) key += name + '\x1f' + value + '\x1e';
+    auto [it, inserted] = index.try_emplace(key, groups.size());
+    if (inserted) {
+      Group g;
+      for (const auto& av : row.axes)
+        if (av.first != axis) g.row.axes.push_back(av);
+      groups.push_back(std::move(g));
+    }
+    Group& g = groups[it->second];
+    ++g.cells;
+    if (g.row.note.empty()) g.row.note = row.note;
+    for (const auto& [name, s] : row.stats) {
+      auto pos = std::find_if(g.row.stats.begin(), g.row.stats.end(),
+                              [&](const auto& p) { return p.first == name; });
+      if (pos == g.row.stats.end())
+        g.row.stats.emplace_back(name, s);
+      else
+        pos->second.merge(s);
+    }
+    for (const auto& [name, q] : row.quantiles) {
+      auto pos =
+          std::find_if(g.row.quantiles.begin(), g.row.quantiles.end(),
+                       [&](const auto& p) { return p.first == name; });
+      if (pos == g.row.quantiles.end())
+        g.row.quantiles.emplace_back(name, q);
+      else
+        pos->second.merge(q);
+    }
+    for (const auto& [name, v] : row.metrics) {
+      auto pos = std::find_if(g.metric_acc.begin(), g.metric_acc.end(),
+                              [&](const auto& p) { return p.first == name; });
+      if (pos == g.metric_acc.end()) {
+        g.metric_acc.emplace_back(name, RunningStats{});
+        pos = std::prev(g.metric_acc.end());
+      }
+      pos->second.add(v);
+    }
+  }
+  ResultTable out;
+  for (Group& g : groups) {
+    for (const auto& [name, acc] : g.metric_acc)
+      g.row.metrics.emplace_back(name, acc.mean());
+    g.row.metrics.emplace_back("cells_merged",
+                               static_cast<double>(g.cells));
+    out.add_row(std::move(g.row));
+  }
+  return out;
+}
+
+const ResultRow* ResultTable::find(
+    const std::vector<std::pair<std::string, std::string>>& where) const {
+  for (const ResultRow& row : rows_) {
+    bool match = true;
+    for (const auto& [name, value] : where) {
+      const std::string* v = row.axis(name);
+      if (!v || *v != value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &row;
+  }
+  return nullptr;
+}
+
+std::string ResultTable::format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  HGC_REQUIRE(ec == std::errc(), "double formatting failed");
+  return std::string(buf, ptr);
+}
+
+}  // namespace hgc::exec

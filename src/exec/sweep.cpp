@@ -1,0 +1,273 @@
+#include "exec/sweep.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+#include "sim/iteration.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace hgc::exec {
+
+std::string StragglerAxis::name() const {
+  if (!label.empty()) return label;
+  if (fault) return "fault";
+  std::string out;
+  if (delay_factor > 0.0) out = TablePrinter::num(delay_factor, 1) + "x ideal";
+  if (delay_seconds > 0.0) {
+    if (!out.empty()) out += " + ";
+    out += TablePrinter::num(delay_seconds, 3) + "s";
+  }
+  if (out.empty())
+    out = fluctuation_sigma > 0.0 ? "fluct only" : "none";
+  return out;
+}
+
+std::size_t SweepGrid::num_cells() const {
+  std::size_t n = clusters.size() * schemes.size() * s_values.size() *
+                  k_values.size() * models.size() * sigmas.size() *
+                  seeds.size() * scenarios.size();
+  for (const CustomAxis& axis : custom_axes) n *= axis.values.size();
+  return n;
+}
+
+double Cell::custom_value(const SweepGrid& grid,
+                          const std::string& name) const {
+  for (std::size_t i = 0; i < grid.custom_axes.size(); ++i)
+    if (grid.custom_axes[i].name == name) return custom.at(i);
+  throw std::invalid_argument("unknown custom axis: " + name);
+}
+
+namespace {
+
+std::string custom_axis_label(const CustomAxis& axis, std::size_t i) {
+  if (i < axis.labels.size()) return axis.labels[i];
+  return ResultTable::format_double(axis.values[i]);
+}
+
+}  // namespace
+
+std::vector<Cell> expand(const SweepGrid& grid) {
+  HGC_REQUIRE(!grid.clusters.empty() && !grid.schemes.empty() &&
+                  !grid.s_values.empty() && !grid.k_values.empty() &&
+                  !grid.models.empty() && !grid.sigmas.empty() &&
+                  !grid.seeds.empty() && !grid.scenarios.empty(),
+              "every sweep axis needs at least one value");
+  for (const CustomAxis& axis : grid.custom_axes)
+    HGC_REQUIRE(!axis.values.empty(),
+                "every custom axis needs at least one value");
+
+  std::vector<Cell> cells;
+  cells.reserve(grid.num_cells());
+  // Odometer over the custom axes (empty = a single all-zeros setting).
+  std::vector<std::size_t> custom_idx(grid.custom_axes.size(), 0);
+  const auto advance_custom = [&]() -> bool {
+    for (std::size_t i = custom_idx.size(); i-- > 0;) {
+      if (++custom_idx[i] < grid.custom_axes[i].values.size()) return true;
+      custom_idx[i] = 0;
+    }
+    return false;
+  };
+
+  for (std::size_t ci = 0; ci < grid.clusters.size(); ++ci) {
+    const Cluster& cluster = grid.clusters[ci];
+    for (std::size_t sci = 0; sci < grid.scenarios.size(); ++sci) {
+      const ScenarioSpec& scenario = grid.scenarios[sci];
+      for (std::size_t s : grid.s_values) {
+        for (std::size_t k : grid.k_values) {
+          for (double sigma : grid.sigmas) {
+            for (const StragglerAxis& model : grid.models) {
+              std::fill(custom_idx.begin(), custom_idx.end(), 0);
+              do {
+                for (std::uint64_t seed : grid.seeds) {
+                  for (SchemeKind scheme : grid.schemes) {
+                    Cell cell;
+                    cell.index = cells.size();
+                    cell.cluster = &cluster;
+                    cell.scheme = scheme;
+                    cell.scenario_index = sci;
+
+                    ExperimentConfig& config = cell.experiment;
+                    config.s = s;
+                    // k = 0 means "the figures' exact partition count" for
+                    // static cells; scenario drivers keep their own 0
+                    // semantics (2 × active workers).
+                    config.k = (k == 0 && scenario.kind ==
+                                              ScenarioKind::kStatic)
+                                   ? exact_partition_count(cluster, s)
+                                   : k;
+                    config.model.num_stragglers =
+                        model.num_stragglers == kMatchS ? s
+                                                        : model.num_stragglers;
+                    config.model.delay_seconds =
+                        model.delay_seconds +
+                        model.delay_factor * ideal_iteration_time(cluster, s);
+                    config.model.fault = model.fault;
+                    config.model.fluctuation_sigma = model.fluctuation_sigma;
+                    config.estimation_sigma = sigma;
+                    config.iterations = grid.iterations;
+                    config.seed = seed;
+                    config.sim = grid.sim;
+
+                    cell.custom.reserve(custom_idx.size());
+                    for (std::size_t i = 0; i < custom_idx.size(); ++i)
+                      cell.custom.push_back(
+                          grid.custom_axes[i].values[custom_idx[i]]);
+
+                    // Row coordinates: single-valued axes are fixed
+                    // parameters and stay out of the row key; cluster
+                    // always identifies a row.
+                    cell.axes.emplace_back("cluster", cluster.name());
+                    if (grid.scenarios.size() > 1)
+                      cell.axes.emplace_back("scenario", scenario.name);
+                    if (grid.s_values.size() > 1)
+                      cell.axes.emplace_back("s", std::to_string(s));
+                    if (grid.k_values.size() > 1)
+                      // k = 0 is the "exact partition count" sentinel; the
+                      // resolved value varies per cluster and s, so label
+                      // the axis honestly rather than "0".
+                      cell.axes.emplace_back(
+                          "k", k == 0 ? "auto" : std::to_string(k));
+                    if (grid.sigmas.size() > 1)
+                      cell.axes.emplace_back(
+                          "sigma", ResultTable::format_double(sigma));
+                    if (grid.models.size() > 1)
+                      cell.axes.emplace_back("model", model.name());
+                    for (std::size_t i = 0; i < custom_idx.size(); ++i)
+                      cell.axes.emplace_back(
+                          grid.custom_axes[i].name,
+                          custom_axis_label(grid.custom_axes[i],
+                                            custom_idx[i]));
+                    if (grid.seeds.size() > 1)
+                      cell.axes.emplace_back("seed", std::to_string(seed));
+                    if (grid.schemes.size() > 1)
+                      cell.axes.emplace_back("scheme", to_string(scheme));
+
+                    cells.push_back(std::move(cell));
+                  }
+                }
+              } while (advance_custom());
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Fork the per-cell streams last, in index order, so the discipline is
+  // independent of how the loops above evolve.
+  Rng root(grid.root_seed);
+  for (Cell& cell : cells) cell.forked_seed = root.fork().seed();
+  return cells;
+}
+
+namespace {
+
+CellResult run_static_cell(const Cell& cell) {
+  const SchemeSummary summary =
+      run_experiment(cell.scheme, *cell.cluster, cell.experiment);
+  CellResult result;
+  result.stats.emplace_back("time", summary.iteration_time);
+  result.stats.emplace_back("usage", summary.resource_usage);
+  result.metrics.emplace_back("failures",
+                              static_cast<double>(summary.failures));
+  if (summary.ever_failed()) result.note = "fail";
+  return result;
+}
+
+CellResult run_churn_cell(const Cell& cell, const ScenarioSpec& scenario) {
+  engine::ChurnConfig config;
+  config.iterations = cell.experiment.iterations;
+  config.s = cell.experiment.s;
+  config.k = cell.experiment.k;
+  config.model = cell.experiment.model;
+  config.sim = cell.experiment.sim;
+  config.seed = cell.experiment.seed;
+  config.events = scenario.churn_events;
+  const engine::ChurnResult churn =
+      engine::run_churn_scenario(cell.scheme, *cell.cluster, config);
+  CellResult result;
+  result.stats.emplace_back("time", churn.iteration_time);
+  result.quantiles.emplace_back("latency", churn.latency);
+  result.metrics.emplace_back("failures",
+                              static_cast<double>(churn.failures));
+  result.metrics.emplace_back("reinstantiations",
+                              static_cast<double>(churn.reinstantiations));
+  result.metrics.emplace_back("total_time", churn.total_time);
+  return result;
+}
+
+CellResult run_trace_cell(const Cell& cell, const ScenarioSpec& scenario) {
+  engine::TraceReplayConfig config;
+  config.iterations = cell.experiment.iterations;
+  config.s = cell.experiment.s;
+  config.k = cell.experiment.k;
+  config.sim = cell.experiment.sim;
+  config.seed = cell.experiment.seed;
+  const engine::TraceReplayResult replay = engine::replay_trace(
+      cell.scheme, *cell.cluster, scenario.trace, config);
+  CellResult result;
+  result.stats.emplace_back("time", replay.iteration_time);
+  result.quantiles.emplace_back("latency", replay.latency);
+  result.metrics.emplace_back("failures",
+                              static_cast<double>(replay.failures));
+  result.metrics.emplace_back("total_time", replay.total_time);
+  return result;
+}
+
+}  // namespace
+
+ResultTable run_sweep(const SweepGrid& grid, const CellFn& fn,
+                      const SweepOptions& opts) {
+  const std::vector<Cell> cells = expand(grid);
+  std::vector<CellResult> results(cells.size());
+  const auto guarded = [&fn](const Cell& cell) -> CellResult {
+    try {
+      return fn(cell);
+    } catch (const std::exception& e) {
+      CellResult failed;
+      failed.note = std::string("error: ") + e.what();
+      return failed;
+    }
+  };
+  ThreadPool pool(opts.threads ? opts.threads : ThreadPool::default_threads());
+  for (const Cell& cell : cells)
+    pool.submit([&guarded, &cell, &results] {
+      results[cell.index] = guarded(cell);
+    });
+  pool.wait_idle();
+
+  ResultTable table;
+  for (const Cell& cell : cells) {
+    CellResult& r = results[cell.index];
+    ResultRow row;
+    row.axes = cell.axes;
+    row.metrics = std::move(r.metrics);
+    row.stats = std::move(r.stats);
+    row.quantiles = std::move(r.quantiles);
+    row.note = std::move(r.note);
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+ResultTable run_sweep(const SweepGrid& grid, const SweepOptions& opts) {
+  const CellFn fn = [&grid](const Cell& cell) {
+    const ScenarioSpec& scenario = grid.scenarios[cell.scenario_index];
+    switch (scenario.kind) {
+      case ScenarioKind::kChurn:
+        return run_churn_cell(cell, scenario);
+      case ScenarioKind::kTraceReplay:
+        return run_trace_cell(cell, scenario);
+      case ScenarioKind::kStatic:
+        break;
+    }
+    return run_static_cell(cell);
+  };
+  return run_sweep(grid, fn, opts);
+}
+
+}  // namespace hgc::exec

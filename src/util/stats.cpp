@@ -68,6 +68,94 @@ void ReservoirQuantiles::add(double x) {
   if (slot < capacity_) sample_[slot] = x;
 }
 
+namespace {
+
+/// Uniformly select `n` of `src`'s elements in random order (partial
+/// Fisher-Yates driven by the caller's deterministic stream). A plain
+/// prefix would be biased: an unsaturated reservoir's sample is in
+/// insertion order.
+template <typename NextFn>
+std::vector<double> take_random(std::vector<double> src, std::size_t n,
+                                NextFn&& next) {
+  n = std::min(n, src.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + next() % (src.size() - i);
+    std::swap(src[i], src[j]);
+  }
+  src.resize(n);
+  return src;
+}
+
+}  // namespace
+
+void ReservoirQuantiles::merge(const ReservoirQuantiles& other) {
+  if (other.count_ == 0) return;
+  std::uint64_t state = splitmix64_mix(
+      state_ ^ (other.state_ * 0x9e3779b97f4a7c15ULL) ^
+      (count_ + 0x632be59bd9b4e019ULL * other.count_));
+  const auto next = [&state]() {
+    return splitmix64_mix(state += 0x9e3779b97f4a7c15ULL);
+  };
+  if (count_ == 0) {
+    // Adopt the other's retained sample, uniformly subsampled to this
+    // capacity when it does not fit.
+    sample_ = other.sample_.size() <= capacity_
+                  ? other.sample_
+                  : take_random(other.sample_, capacity_, next);
+    count_ = other.count_;
+    state_ = state;
+    return;
+  }
+  if (count_ == sample_.size() && other.count_ == other.sample_.size() &&
+      sample_.size() + other.sample_.size() <= capacity_) {
+    // Both operands still retain their full streams: concatenation equals
+    // the sequential result exactly. (A saturated operand must go through
+    // the weighted path below even if its sample would fit — its elements
+    // each stand for count/sample_size observations, not one.)
+    sample_.insert(sample_.end(), other.sample_.begin(), other.sample_.end());
+    count_ += other.count_;
+    state_ = splitmix64_mix(state_ ^ other.state_);
+    return;
+  }
+  // Weighted merge: each retained element stands for count/sample_size
+  // stream observations. Equalize per-element weights first — uniformly
+  // downsample the lighter side to its equivalent length at the heavier
+  // weight — then interleave proportionally to remaining counts, truncated
+  // at capacity. The selection stream is derived from both operands so the
+  // merge is a deterministic function of (this, other).
+  const double weight_a =
+      static_cast<double>(count_) / static_cast<double>(sample_.size());
+  const double weight_b = static_cast<double>(other.count_) /
+                          static_cast<double>(other.sample_.size());
+  const double weight = std::max(weight_a, weight_b);
+  const std::vector<double> from_a = take_random(
+      sample_,
+      static_cast<std::size_t>(
+          std::llround(static_cast<double>(count_) / weight)),
+      next);
+  const std::vector<double> from_b = take_random(
+      other.sample_,
+      static_cast<std::size_t>(
+          std::llround(static_cast<double>(other.count_) / weight)),
+      next);
+  std::vector<double> merged;
+  merged.reserve(std::min(capacity_, from_a.size() + from_b.size()));
+  std::size_t ia = 0, ib = 0;
+  while (merged.size() < capacity_ &&
+         (ia < from_a.size() || ib < from_b.size())) {
+    const double ra = static_cast<double>(from_a.size() - ia);
+    const double rb = static_cast<double>(from_b.size() - ib);
+    const double u = static_cast<double>(next() >> 11) * 0x1.0p-53 * (ra + rb);
+    if (ib >= from_b.size() || (ia < from_a.size() && u < ra))
+      merged.push_back(from_a[ia++]);
+    else
+      merged.push_back(from_b[ib++]);
+  }
+  sample_ = std::move(merged);
+  count_ += other.count_;
+  state_ = state;
+}
+
 double ReservoirQuantiles::quantile(double q) const {
   HGC_REQUIRE(count_ > 0, "quantile of an empty reservoir");
   return percentile(sample_, q);

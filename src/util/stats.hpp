@@ -58,6 +58,19 @@ class ReservoirQuantiles {
   double p95() const { return quantile(95.0); }
   double p99() const { return quantile(99.0); }
 
+  /// Merge another reservoir into this one (parallel reduction).
+  ///
+  /// Determinism note: the result is a pure function of the two operands
+  /// (the selection stream is seeded from both reservoirs' states and
+  /// counts), so a merge tree evaluated in a fixed order yields bit-identical
+  /// results regardless of which thread produced each partial. count() is
+  /// exact. The retained sample is a weight-equalized draw from the two
+  /// samples — while both operands still retain their full streams (and
+  /// they fit) it equals the concatenated sequential stream; once either
+  /// side has saturated it is an unbiased estimate, not the byte-identical
+  /// reservoir a single sequential pass would have kept.
+  void merge(const ReservoirQuantiles& other);
+
  private:
   std::uint64_t next_u64();
 

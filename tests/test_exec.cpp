@@ -1,0 +1,346 @@
+// Tests for the parallel sweep runtime: thread pool, grid expansion,
+// deterministic execution, result tables, and the grid-spec parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <vector>
+
+#include "exec/figures.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace hgc::exec {
+namespace {
+
+std::string csv_of(const ResultTable& table) {
+  std::ostringstream os;
+  table.to_csv(os);
+  return os.str();
+}
+
+// --- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, TasksWriteToPreassignedSlots) {
+  ThreadPool pool(3);
+  std::vector<int> slots(100, 0);
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&slots, i] { slots[static_cast<std::size_t>(i)] = i + 1; });
+  pool.wait_idle();
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(slots[static_cast<std::size_t>(i)], i + 1);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+// --- Grid expansion -----------------------------------------------------
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.clusters = {cluster_a()};
+  grid.schemes = {SchemeKind::kCyclic, SchemeKind::kHeterAware};
+  grid.s_values = {1};
+  grid.iterations = 10;
+  StragglerAxis none;
+  StragglerAxis delayed;
+  delayed.delay_factor = 2.0;
+  delayed.fluctuation_sigma = 0.02;
+  grid.models = {none, delayed};
+  grid.seeds = {1, 2};
+  return grid;
+}
+
+TEST(SweepGrid, ExpandsTheFullCartesianProduct) {
+  const SweepGrid grid = small_grid();
+  EXPECT_EQ(grid.num_cells(), 2u * 2u * 2u);
+  const std::vector<Cell> cells = expand(grid);
+  ASSERT_EQ(cells.size(), 8u);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    EXPECT_EQ(cells[i].index, i);
+}
+
+TEST(SweepGrid, ResolvesExactPartitionCountAndDelays) {
+  const SweepGrid grid = small_grid();
+  const std::vector<Cell> cells = expand(grid);
+  const std::size_t exact = exact_partition_count(grid.clusters[0], 1);
+  const double ideal = ideal_iteration_time(grid.clusters[0], 1);
+  for (const Cell& cell : cells) {
+    EXPECT_EQ(cell.experiment.k, exact);
+    EXPECT_EQ(cell.experiment.s, 1u);
+  }
+  // The delayed model axis resolves its factor against the cluster.
+  bool saw_delay = false;
+  for (const Cell& cell : cells)
+    if (cell.experiment.model.delay_seconds > 0.0) {
+      EXPECT_DOUBLE_EQ(cell.experiment.model.delay_seconds, 2.0 * ideal);
+      // kMatchS: victim count follows the cell's s.
+      EXPECT_EQ(cell.experiment.model.num_stragglers, 1u);
+      saw_delay = true;
+    }
+  EXPECT_TRUE(saw_delay);
+}
+
+TEST(SweepGrid, ForkedSeedsAreDistinctAndReproducible) {
+  const SweepGrid grid = small_grid();
+  const std::vector<Cell> a = expand(grid);
+  const std::vector<Cell> b = expand(grid);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].forked_seed, b[i].forked_seed);
+    for (std::size_t j = i + 1; j < a.size(); ++j)
+      EXPECT_NE(a[i].forked_seed, a[j].forked_seed);
+  }
+}
+
+TEST(SweepGrid, SingleValuedAxesStayOutOfRowCoordinates) {
+  const SweepGrid grid = small_grid();
+  const std::vector<Cell> cells = expand(grid);
+  const auto has_axis = [](const Cell& cell, const std::string& name) {
+    for (const auto& [axis_name, value] : cell.axes)
+      if (axis_name == name) return true;
+    return false;
+  };
+  for (const Cell& cell : cells) {
+    EXPECT_TRUE(has_axis(cell, "cluster"));
+    EXPECT_TRUE(has_axis(cell, "scheme"));
+    EXPECT_TRUE(has_axis(cell, "model"));
+    EXPECT_TRUE(has_axis(cell, "seed"));
+    EXPECT_FALSE(has_axis(cell, "s"));      // single-valued
+    EXPECT_FALSE(has_axis(cell, "sigma"));  // single-valued
+  }
+}
+
+// --- Deterministic execution --------------------------------------------
+
+TEST(RunSweep, BitIdenticalAcrossThreadCounts) {
+  const SweepGrid grid = small_grid();
+  const std::string serial = csv_of(run_sweep(grid, {.threads = 1}));
+  const std::string parallel4 = csv_of(run_sweep(grid, {.threads = 4}));
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(RunSweep, CustomCellFnSeesCustomAxes) {
+  SweepGrid grid;
+  grid.clusters = {cluster_a()};
+  grid.schemes = {SchemeKind::kNaive};
+  grid.iterations = 1;
+  grid.custom_axes = {{"x", {1.0, 2.0}, {}}, {"y", {10.0, 20.0}, {}}};
+  const CellFn fn = [&grid](const Cell& cell) {
+    CellResult result;
+    result.metrics.emplace_back(
+        "product", cell.custom_value(grid, "x") * cell.custom_value(grid,
+                                                                    "y"));
+    return result;
+  };
+  const ResultTable table = run_sweep(grid, fn, {.threads = 2});
+  ASSERT_EQ(table.size(), 4u);
+  double v = 0.0;
+  ASSERT_NE(table.find({{"x", "2"}, {"y", "20"}}), nullptr);
+  table.find({{"x", "2"}, {"y", "20"}})->value("product", v);
+  EXPECT_DOUBLE_EQ(v, 40.0);
+}
+
+TEST(RunSweep, CellExceptionsLandInTheNote) {
+  SweepGrid grid;
+  grid.clusters = {cluster_a()};
+  grid.schemes = {SchemeKind::kNaive};
+  grid.iterations = 1;
+  const CellFn fn = [](const Cell&) -> CellResult {
+    throw std::runtime_error("boom");
+  };
+  const ResultTable table = run_sweep(grid, fn, {.threads = 2});
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.row(0).note, "error: boom");
+}
+
+TEST(RunSweep, ScenarioAxisRunsChurnAndTraceCells) {
+  SweepGrid grid = scenarios_grid(20);
+  grid.schemes = {SchemeKind::kHeterAware};
+  const ResultTable table = run_sweep(grid, {.threads = 2});
+  ASSERT_EQ(table.size(), 3u);
+  const ResultRow* churn = table.find({{"scenario", "churn"}});
+  ASSERT_NE(churn, nullptr);
+  double reinstantiations = 0.0;
+  ASSERT_TRUE(churn->value("reinstantiations", reinstantiations));
+  EXPECT_GE(reinstantiations, 1.0);  // the demo schedule has two events
+  const ResultRow* trace = table.find({{"scenario", "trace"}});
+  ASSERT_NE(trace, nullptr);
+  double p95 = 0.0;
+  ASSERT_TRUE(trace->value("latency_p95", p95));
+  EXPECT_GT(p95, 0.0);
+}
+
+// --- ResultTable --------------------------------------------------------
+
+ResultRow make_row(const std::string& cluster, const std::string& seed,
+                   double time_value, std::size_t samples) {
+  ResultRow row;
+  row.axes = {{"cluster", cluster}, {"seed", seed}};
+  RunningStats stats;
+  for (std::size_t i = 0; i < samples; ++i)
+    stats.add(time_value + static_cast<double>(i));
+  row.stats.emplace_back("time", stats);
+  row.metrics.emplace_back("failures", 0.0);
+  return row;
+}
+
+TEST(ResultTable, CsvIsStableAndComplete) {
+  ResultTable table;
+  table.add_row(make_row("A", "1", 1.0, 2));
+  table.add_row(make_row("A", "2", 3.0, 2));
+  const std::string csv = csv_of(table);
+  EXPECT_NE(csv.find("cluster,seed,time_mean,time_stddev,time_count,"
+                     "failures"),
+            std::string::npos);
+  EXPECT_NE(csv.find("A,1,1.5,"), std::string::npos);
+}
+
+TEST(ResultTable, JsonHasAxesAndMetrics) {
+  ResultTable table;
+  table.add_row(make_row("A", "1", 1.0, 2));
+  std::ostringstream os;
+  table.to_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"cluster\": \"A\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_mean\": 1.5"), std::string::npos);
+}
+
+TEST(ResultTable, AggregateMergesStatsExactly) {
+  ResultTable table;
+  table.add_row(make_row("A", "1", 1.0, 3));
+  table.add_row(make_row("A", "2", 10.0, 5));
+  table.add_row(make_row("B", "1", 2.0, 3));
+  table.add_row(make_row("B", "2", 20.0, 5));
+  const ResultTable merged = table.aggregate_over("seed");
+  ASSERT_EQ(merged.size(), 2u);
+  // Per-seed partials combine exactly: counts add, means pool.
+  double count = 0.0, mean = 0.0;
+  merged.find({{"cluster", "A"}})->value("time_count", count);
+  merged.find({{"cluster", "A"}})->value("time_mean", mean);
+  EXPECT_DOUBLE_EQ(count, 8.0);
+  // Sequential stream: {1,2,3, 10,11,12,13,14} -> mean 8.25.
+  EXPECT_DOUBLE_EQ(mean, 8.25);
+  double cells = 0.0;
+  merged.find({{"cluster", "B"}})->value("cells_merged", cells);
+  EXPECT_DOUBLE_EQ(cells, 2.0);
+}
+
+TEST(ResultTable, PivotShowsMetricAndNotes) {
+  ResultTable table;
+  table.add_row(make_row("A", "1", 4.0, 1));
+  ResultRow failed = make_row("B", "1", 0.0, 1);
+  failed.note = "fail";
+  table.add_row(failed);
+  const TablePrinter pivoted = table.pivot("seed", "cluster", "time");
+  std::ostringstream os;
+  pivoted.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("4.0000"), std::string::npos);
+  EXPECT_NE(text.find("fail"), std::string::npos);
+}
+
+TEST(ResultTable, FormatDoubleRoundTrips) {
+  EXPECT_EQ(ResultTable::format_double(0.5), "0.5");
+  EXPECT_EQ(ResultTable::format_double(1.0 / 3.0),
+            ResultTable::format_double(1.0 / 3.0));
+  EXPECT_EQ(std::stod(ResultTable::format_double(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+// --- Grid-spec parsing --------------------------------------------------
+
+TEST(GridSpec, ParsesAxesAndRanges) {
+  const SweepGrid grid = parse_grid_spec(
+      "clusters=A,B;schemes=heter,group;s=1,2;sigmas=0,0.2;seeds=1..4;"
+      "iters=25;delay_factors=0,2;fault=1;fluct=0.05");
+  EXPECT_EQ(grid.clusters.size(), 2u);
+  EXPECT_EQ(grid.schemes.size(), 2u);
+  EXPECT_EQ(grid.s_values, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(grid.sigmas, (std::vector<double>{0.0, 0.2}));
+  EXPECT_EQ(grid.seeds, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(grid.iterations, 25u);
+  ASSERT_EQ(grid.models.size(), 3u);  // two delay factors + fault
+  EXPECT_TRUE(grid.models.back().fault);
+  EXPECT_DOUBLE_EQ(grid.models[1].delay_factor, 2.0);
+  EXPECT_DOUBLE_EQ(grid.models[0].fluctuation_sigma, 0.05);
+}
+
+TEST(GridSpec, ParsesScenarios) {
+  const SweepGrid grid =
+      parse_grid_spec("schemes=heter;iters=10;scenarios=static,churn,trace");
+  ASSERT_EQ(grid.scenarios.size(), 3u);
+  EXPECT_EQ(grid.scenarios[0].kind, ScenarioKind::kStatic);
+  EXPECT_EQ(grid.scenarios[1].kind, ScenarioKind::kChurn);
+  EXPECT_FALSE(grid.scenarios[1].churn_events.empty());
+  EXPECT_EQ(grid.scenarios[2].kind, ScenarioKind::kTraceReplay);
+  EXPECT_GT(grid.scenarios[2].trace.num_iterations(), 0u);
+}
+
+TEST(GridSpec, RejectsUnknownKeysAndValues) {
+  EXPECT_THROW(parse_grid_spec("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parse_grid_spec("clusters=Z"), std::invalid_argument);
+  EXPECT_THROW(parse_grid_spec("schemes"), std::invalid_argument);
+  EXPECT_THROW(parse_grid_spec("scenarios=warp"), std::invalid_argument);
+}
+
+// --- Figure presets -----------------------------------------------------
+
+TEST(Figures, EveryPresetBuilds) {
+  for (const std::string& name : figure_names()) {
+    const FigureSweep figure = make_figure(name);
+    EXPECT_EQ(figure.name, name);
+    EXPECT_GT(figure.grid.num_cells(), 0u) << name;
+  }
+  EXPECT_THROW(make_figure("fig99"), std::invalid_argument);
+}
+
+TEST(Figures, Table2MatchesClusterProperties) {
+  const ResultTable table = run_figure(table2_sweep(), {.threads = 2});
+  ASSERT_EQ(table.size(), 4u);
+  double ratio = 0.0;
+  table.find({{"cluster", "Cluster-A"}})
+      ->value("heterogeneity_ratio", ratio);
+  EXPECT_DOUBLE_EQ(ratio, 3.0);
+}
+
+TEST(Figures, Fig4EmitsIdenticalCurvesAtAnyThreadCount) {
+  const FigureSweep figure = fig4_sweep(8);
+  const std::string serial = csv_of(run_figure(figure, {.threads = 1}));
+  const std::string parallel = csv_of(run_figure(figure, {.threads = 3}));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("ssp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hgc::exec

@@ -1,10 +1,16 @@
 // Tests for the real-thread BSP runtime: correctness under concurrency,
-// straggler drops, and agreement with the serial reference.
+// straggler drops, and agreement with the serial reference — plus the
+// parallel sweep runtime's determinism contract (same grid, any thread
+// count, identical ResultTable).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <thread>
 
 #include "core/scheme_factory.hpp"
+#include "exec/figures.hpp"
+#include "exec/sweep.hpp"
 #include "runtime/sim_trainer.hpp"
 #include "runtime/threaded_trainer.hpp"
 
@@ -142,6 +148,49 @@ TEST(ThreadedTrainer, WallClockTimesAreMonotone) {
       train_bsp_threaded(*scheme, cluster, model, data, fast_config());
   for (std::size_t i = 1; i < result.trace.points.size(); ++i)
     EXPECT_GE(result.trace.points[i].time, result.trace.points[i - 1].time);
+}
+
+TEST(SweepDeterminism, IdenticalResultsAtOneFourAndHardwareThreads) {
+  // The exec/ contract: a SweepGrid's ResultTable is bit-identical at any
+  // thread count. Exercise a grid with every axis kind in play — two
+  // schemes, two models (one resolved against ideal time), two seeds, an
+  // estimation-error axis — and compare the byte-exact CSV export.
+  exec::SweepGrid grid;
+  grid.clusters = {cluster_a()};
+  grid.schemes = {SchemeKind::kCyclic, SchemeKind::kHeterAware,
+                  SchemeKind::kGroupBased};
+  grid.sigmas = {0.0, 0.2};
+  grid.seeds = {1, 2};
+  grid.iterations = 12;
+  exec::StragglerAxis none;
+  exec::StragglerAxis delayed;
+  delayed.delay_factor = 2.0;
+  delayed.fluctuation_sigma = 0.05;
+  grid.models = {none, delayed};
+
+  const auto csv_at = [&grid](std::size_t threads) {
+    std::ostringstream os;
+    exec::run_sweep(grid, {.threads = threads}).to_csv(os);
+    return os.str();
+  };
+  const std::string serial = csv_at(1);
+  const std::string four = csv_at(4);
+  const std::string hardware = csv_at(std::max<std::size_t>(
+      1, std::thread::hardware_concurrency()));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, hardware);
+}
+
+TEST(SweepDeterminism, ScenarioCellsAreDeterministicToo) {
+  exec::SweepGrid grid = exec::scenarios_grid(15);
+  grid.schemes = {SchemeKind::kHeterAware, SchemeKind::kGroupBased};
+  const auto csv_at = [&grid](std::size_t threads) {
+    std::ostringstream os;
+    exec::run_sweep(grid, {.threads = threads}).to_csv(os);
+    return os.str();
+  };
+  EXPECT_EQ(csv_at(1), csv_at(4));
 }
 
 }  // namespace

@@ -205,6 +205,121 @@ TEST(ReservoirQuantiles, DeterministicForSeedAndOrder) {
   EXPECT_DOUBLE_EQ(a.p99(), b.p99());
 }
 
+TEST(RunningStats, MergeTreeMatchesSequentialStream) {
+  // The parallel-sweep discipline: per-cell partials merged in a fixed order
+  // must equal one sequential pass for counts and means.
+  RunningStats sequential;
+  std::vector<RunningStats> partials(8);
+  Rng rng(23);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.exponential(0.5);
+    sequential.add(x);
+    partials[static_cast<std::size_t>(i) % 8].add(x);
+  }
+  RunningStats merged;
+  for (const RunningStats& p : partials) merged.merge(p);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(merged.sum(), sequential.sum(), 1e-9);
+  EXPECT_NEAR(merged.stddev(), sequential.stddev(), 1e-10);
+  EXPECT_DOUBLE_EQ(merged.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(merged.max(), sequential.max());
+}
+
+TEST(ReservoirQuantiles, MergeUnderCapacityEqualsSequential) {
+  // While both operands retain their whole streams the merged reservoir is
+  // the concatenated stream: quantiles match a single-pass reservoir exactly.
+  ReservoirQuantiles left(1024), right(1024), sequential(1024);
+  for (int i = 0; i < 300; ++i) {
+    left.add(static_cast<double>(i));
+    sequential.add(static_cast<double>(i));
+  }
+  for (int i = 300; i < 500; ++i) {
+    right.add(static_cast<double>(i));
+    sequential.add(static_cast<double>(i));
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), 500u);
+  EXPECT_EQ(left.sample_size(), 500u);
+  EXPECT_DOUBLE_EQ(left.p50(), sequential.p50());
+  EXPECT_DOUBLE_EQ(left.p95(), sequential.p95());
+  EXPECT_DOUBLE_EQ(left.p99(), sequential.p99());
+}
+
+TEST(ReservoirQuantiles, MergeIsDeterministicAndCountExact) {
+  auto fill = [](ReservoirQuantiles& q, std::uint64_t seed, int n) {
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) q.add(rng.normal());
+  };
+  ReservoirQuantiles a1(128, 7), a2(128, 7), b1(128, 9), b2(128, 9);
+  fill(a1, 3, 4000);
+  fill(a2, 3, 4000);
+  fill(b1, 5, 6000);
+  fill(b2, 5, 6000);
+  a1.merge(b1);
+  a2.merge(b2);
+  EXPECT_EQ(a1.count(), 10000u);
+  EXPECT_EQ(a1.sample_size(), 128u);
+  // Same operands, same merge: bit-identical quantiles.
+  EXPECT_DOUBLE_EQ(a1.p50(), a2.p50());
+  EXPECT_DOUBLE_EQ(a1.p95(), a2.p95());
+  EXPECT_DOUBLE_EQ(a1.p99(), a2.p99());
+}
+
+TEST(ReservoirQuantiles, MergedQuantilesApproximatePooledStream) {
+  ReservoirQuantiles a(512, 11), b(512, 13);
+  Rng rng(31);
+  std::vector<double> pooled;
+  for (int i = 0; i < 30000; ++i) {
+    const double x = rng.uniform();
+    pooled.push_back(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 30000u);
+  EXPECT_NEAR(a.p50(), percentile(pooled, 50.0), 0.08);
+  EXPECT_NEAR(a.p95(), percentile(pooled, 95.0), 0.05);
+}
+
+TEST(ReservoirQuantiles, MergeWeighsSaturatedOperandsByCount) {
+  // 2000 high-valued observations squeezed through a small saturated
+  // reservoir must dominate 10 low-valued ones even though the retained
+  // samples are closer in size (32 vs 10): the merge weighs elements by
+  // the observations they stand for, not one each.
+  ReservoirQuantiles small(1024), saturated(32, 5);
+  for (int i = 0; i < 10; ++i) small.add(0.0);
+  Rng rng(41);
+  for (int i = 0; i < 2000; ++i) saturated.add(100.0 + rng.uniform());
+  small.merge(saturated);
+  EXPECT_EQ(small.count(), 2010u);
+  // True p50 of the pooled stream is ~100.5; equal-weight concatenation
+  // of the samples would put ~24% of the mass at 0 and drag p25 to 0.
+  EXPECT_GT(small.p50(), 99.0);
+  EXPECT_GT(small.quantile(25.0), 99.0);
+}
+
+TEST(ReservoirQuantiles, AdoptSubsamplesUniformlyNotByPrefix) {
+  // A small empty reservoir adopting a large unsaturated one (whose sample
+  // is in insertion order) must subsample uniformly: keeping a prefix of
+  // 500 ascending values would drag p50 to ~16 instead of ~250.
+  ReservoirQuantiles dst(32), src(1024);
+  for (int i = 0; i < 500; ++i) src.add(static_cast<double>(i));
+  dst.merge(src);
+  EXPECT_EQ(dst.count(), 500u);
+  EXPECT_EQ(dst.sample_size(), 32u);
+  EXPECT_NEAR(dst.p50(), 249.5, 90.0);
+}
+
+TEST(ReservoirQuantiles, MergeWithEmptySides) {
+  ReservoirQuantiles a(64), b(64);
+  for (int i = 1; i <= 10; ++i) a.add(static_cast<double>(i));
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 10u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 10u);
+  EXPECT_DOUBLE_EQ(b.p50(), 5.5);
+}
+
 TEST(ReservoirQuantiles, RejectsBadInput) {
   EXPECT_THROW(ReservoirQuantiles(0), std::invalid_argument);
   ReservoirQuantiles q;
