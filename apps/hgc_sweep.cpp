@@ -34,6 +34,12 @@ void print_usage(std::ostream& os) {
         "                     scenarios=static,churn,trace;trace=file.csv\n"
         "  --iters N          override the grid's iteration count\n"
         "  --threads N        worker threads (default: all cores)\n"
+        "  --cache/--no-cache share constructed schemes across cells and\n"
+        "                     cache decoding coefficients per cell (default\n"
+        "                     on; output is byte-identical either way; hit\n"
+        "                     rates go to stderr; applies to the built-in\n"
+        "                     static/churn/trace cell bodies — custom-\n"
+        "                     bodied presets like fig4 bypass it)\n"
         "  --csv PATH         write CSV to PATH ('-' = stdout; the default)\n"
         "  --json PATH        write JSON to PATH ('-' = stdout)\n"
         "  --pivot R,C,M      print a pivot table: rows=axis R, cols=axis\n"
@@ -78,6 +84,8 @@ int main(int argc, char** argv) {
     const std::string json_path = args.get("json", "");
     const std::string pivot_spec = args.get("pivot", "");
     const std::string aggregate_axis = args.get("aggregate", "");
+    bool use_cache = args.get_bool("cache", true);
+    if (args.get_bool("no-cache", false)) use_cache = false;
     args.check_unused();
     if (grid_arg.empty()) {
       print_usage(std::cerr);
@@ -100,6 +108,15 @@ int main(int argc, char** argv) {
 
     exec::SweepOptions options;
     options.threads = threads;
+    // Both caches are result-transparent (same bytes out either way); the
+    // stats land on stderr so stdout stays pure data.
+    SchemeCache scheme_cache;
+    exec::SweepCacheStats cache_stats;
+    if (use_cache) {
+      options.scheme_cache = &scheme_cache;
+      options.decoding_cache_capacity = 256;
+      options.cache_stats = &cache_stats;
+    }
     const std::size_t resolved_threads =
         threads != 0 ? threads : exec::ThreadPool::default_threads();
 
@@ -115,6 +132,31 @@ int main(int argc, char** argv) {
     std::cerr << "# " << figure.name << ": "
               << figure.grid.num_cells() << " cells on "
               << resolved_threads << " thread(s) in " << seconds << "s\n";
+    if (use_cache) {
+      const std::size_t dh = cache_stats.decode_hits.load();
+      const std::size_t dm = cache_stats.decode_misses.load();
+      if (scheme_cache.hits() + scheme_cache.misses() + dh + dm == 0) {
+        // The custom-bodied presets (fig4, table2, loss, ...) run their own
+        // cell functions, which do not go through the cached experiment
+        // path — say so instead of printing misleading 0-traffic rates.
+        std::cerr << "# caches: unused (this preset's custom cell body "
+                     "bypasses the caching layer)\n";
+      } else {
+        const auto rate = [](std::size_t hits, std::size_t misses) {
+          const std::size_t total = hits + misses;
+          return total == 0 ? 0.0
+                            : 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(total);
+        };
+        std::cerr << "# scheme cache: " << scheme_cache.hits() << " hits / "
+                  << scheme_cache.misses() << " misses ("
+                  << rate(scheme_cache.hits(), scheme_cache.misses())
+                  << "% hit rate, " << scheme_cache.size()
+                  << " schemes constructed)\n";
+        std::cerr << "# decode cache: " << dh << " hits / " << dm
+                  << " misses (" << rate(dh, dm) << "% hit rate)\n";
+      }
+    }
 
     bool wrote = false;
     if (!csv_path.empty()) {

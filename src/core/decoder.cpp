@@ -25,10 +25,15 @@ std::vector<DecodingRow> build_decoding_matrix(const CodingScheme& scheme) {
   return rows;
 }
 
-StreamingDecoder::StreamingDecoder(const CodingScheme& scheme)
+StreamingDecoder::StreamingDecoder(const CodingScheme& scheme,
+                                   DecodingCache* cache)
     : scheme_(scheme),
+      cache_(cache),
       received_(scheme.num_workers(), false),
-      coded_(scheme.num_workers()) {}
+      coded_(scheme.num_workers()) {
+  HGC_REQUIRE(!cache_ || &cache_->scheme() == &scheme_,
+              "decoding cache must wrap the decoder's scheme");
+}
 
 bool StreamingDecoder::add_result(WorkerId w, Vector coded_gradient) {
   HGC_REQUIRE(w < received_.size(), "worker id out of range");
@@ -38,7 +43,8 @@ bool StreamingDecoder::add_result(WorkerId w, Vector coded_gradient) {
   ++received_count_;
   if (coefficients_) return false;  // already decodable, extra result unused
   if (received_count_ < scheme_.min_results_required()) return false;
-  coefficients_ = scheme_.decoding_coefficients(received_);
+  coefficients_ = cache_ ? cache_->decode(received_)
+                         : scheme_.decoding_coefficients(received_);
   return coefficients_.has_value();
 }
 

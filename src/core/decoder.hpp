@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/coding_scheme.hpp"
+#include "core/decoding_cache.hpp"
 #include "core/types.hpp"
 
 namespace hgc {
@@ -32,7 +33,12 @@ std::vector<DecodingRow> build_decoding_matrix(const CodingScheme& scheme);
 /// succeed yet) and caches the coefficients once found.
 class StreamingDecoder {
  public:
-  explicit StreamingDecoder(const CodingScheme& scheme);
+  /// `cache`, when non-null, must wrap the same scheme instance; decodability
+  /// checks then go through its LRU (the paper's "regular stragglers"
+  /// optimization) instead of re-solving per arrival. The cache may be
+  /// shared across iterations but not across threads.
+  explicit StreamingDecoder(const CodingScheme& scheme,
+                            DecodingCache* cache = nullptr);
 
   /// Record worker w's coded gradient. Returns true if the aggregate became
   /// decodable with this arrival.
@@ -56,6 +62,7 @@ class StreamingDecoder {
 
  private:
   const CodingScheme& scheme_;
+  DecodingCache* cache_;
   std::vector<bool> received_;
   std::vector<Vector> coded_;
   std::size_t received_count_ = 0;

@@ -31,6 +31,10 @@ class DecodingCache {
   /// sets) are also cached so repeated early probes stay cheap.
   std::optional<Vector> decode(const std::vector<bool>& received);
 
+  /// The scheme this cache solves for; callers wiring the cache into a
+  /// decoder must pair it with the same scheme instance.
+  const CodingScheme& scheme() const { return scheme_; }
+
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
   std::size_t size() const { return entries_.size(); }

@@ -62,9 +62,16 @@ bool for_each_straggler_pattern(
 
 std::optional<double> completion_time(const CodingScheme& scheme,
                                       const Throughputs& c,
-                                      const StragglerSet& stragglers) {
+                                      const StragglerSet& stragglers,
+                                      DecodingCache* cache) {
   const std::size_t m = scheme.num_workers();
   HGC_REQUIRE(c.size() == m, "one throughput per worker");
+  HGC_REQUIRE(!cache || &cache->scheme() == &scheme,
+              "decoding cache must wrap the queried scheme");
+  const auto decodable = [&](const std::vector<bool>& received) {
+    return cache ? cache->decode(received).has_value()
+                 : scheme.decoding_coefficients(received).has_value();
+  };
 
   std::vector<bool> is_straggler(m, false);
   for (WorkerId w : stragglers) {
@@ -84,33 +91,38 @@ std::optional<double> completion_time(const CodingScheme& scheme,
 
   std::vector<bool> received(m, false);
   std::size_t count = 0;
+  bool tried_full_set = false;
   for (const auto& [time, w] : arrivals) {
     received[w] = true;
     ++count;
     if (count < scheme.min_results_required()) continue;
-    if (scheme.decoding_coefficients(received)) return time;
+    if (count == arrivals.size()) tried_full_set = true;
+    if (decodable(received)) return time;
   }
   // Tail case: min_results_required can exceed the survivor count, so try
-  // one final decode with everything received.
-  if (!arrivals.empty() && scheme.decoding_coefficients(received))
+  // one final decode with everything received — unless the loop's last
+  // attempt already was the full set, in which case re-solving the identical
+  // system would only confirm the failure.
+  if (!arrivals.empty() && !tried_full_set && decodable(received))
     return arrivals.back().first;
   return std::nullopt;
 }
 
 std::optional<double> worst_case_time(const CodingScheme& scheme,
-                                      const Throughputs& c) {
+                                      const Throughputs& c,
+                                      DecodingCache* cache) {
   const std::size_t s = scheme.stragglers_tolerated();
   double worst = 0.0;
   // Patterns with fewer than s stragglers are dominated by some s-pattern
   // (removing a straggler can only speed decoding up), so exact-s suffices;
   // we still include the zero-straggler case to cover s = 0 schemes.
-  const auto none = completion_time(scheme, c, {});
+  const auto none = completion_time(scheme, c, {}, cache);
   if (!none) return std::nullopt;
   worst = *none;
 
   const bool ok = for_each_straggler_pattern(
       scheme.num_workers(), s, [&](const StragglerSet& pattern) {
-        const auto t = completion_time(scheme, c, pattern);
+        const auto t = completion_time(scheme, c, pattern, cache);
         if (!t) return false;
         worst = std::max(worst, *t);
         return true;

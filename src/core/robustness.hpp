@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "core/coding_scheme.hpp"
+#include "core/decoding_cache.hpp"
 #include "core/types.hpp"
 #include "linalg/matrix.hpp"
 
@@ -34,16 +35,22 @@ bool for_each_straggler_pattern(
 /// (Section III-C): the master takes results in the order of worker finish
 /// times t_i = ||b_i||_0 / c_i, skipping stragglers, and stops at the first
 /// decodable prefix. Returns the stop time, or nullopt if the survivors
-/// cannot decode at all.
+/// cannot decode at all. `cache`, when non-null, must wrap `scheme`; prefix
+/// decodability checks then hit its LRU, which pays off when the same
+/// arrival prefixes recur (repeated calls, the worst_case_time enumeration).
 std::optional<double> completion_time(const CodingScheme& scheme,
                                       const Throughputs& c,
-                                      const StragglerSet& stragglers);
+                                      const StragglerSet& stragglers,
+                                      DecodingCache* cache = nullptr);
 
 /// Worst-case completion time T(B) over all patterns with at most s
 /// stragglers (Eq. 3), evaluated by brute force. Nullopt if some pattern is
-/// undecodable (the scheme is not robust).
+/// undecodable (the scheme is not robust). The optional `cache` is shared
+/// across the whole C(m, s) enumeration, where arrival prefixes overlap
+/// heavily between patterns.
 std::optional<double> worst_case_time(const CodingScheme& scheme,
-                                      const Throughputs& c);
+                                      const Throughputs& c,
+                                      DecodingCache* cache = nullptr);
 
 /// Theorem 5's lower bound for any s-tolerant code on workers c:
 /// (s+1)·k / Σc.

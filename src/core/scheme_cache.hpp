@@ -1,0 +1,99 @@
+// Shared cache of constructed coding schemes — the sweep-level half of the
+// caching subsystem (ROADMAP "sweep-level caching").
+//
+// Scheme construction (Alg. 1's least-squares per worker, the group search)
+// is a deterministic function of (kind, k, s, estimated throughputs,
+// construction seed): run_experiment always seeds a fresh Rng from the
+// experiment seed before calling make_scheme. Sweep cells that differ only
+// in axes the construction never sees (straggler model, fluctuation,
+// iteration count — and, for the deterministic schemes, the seed) therefore
+// rebuild byte-identical B matrices from scratch. This cache interns them:
+// one shared_ptr<const CodingScheme> per distinct construction input, safe
+// to share read-only across pool threads.
+//
+// Key semantics (what can and cannot be shared):
+//   * kind, k, s and m = c.size() are always part of the key.
+//   * The estimated-throughputs vector is folded in only for the
+//     throughput-aware schemes (heter-aware, group-based); naive, cyclic and
+//     fractional repetition ignore c by design and share across clusters of
+//     equal size.
+//   * The construction seed is folded in only for the randomized schemes
+//     (cyclic, heter-aware, group-based draw the random C matrix from the
+//     construction Rng); naive and fractional repetition are deterministic
+//     and share across seeds.
+// Note that with estimation_sigma > 0 the *estimated* throughputs are
+// themselves seed-dependent, so throughput-aware schemes never share across
+// seeds in that regime even before the seed is folded in — the seed fold
+// matters exactly when sigma == 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheme_factory.hpp"
+
+namespace hgc {
+
+/// True when make_scheme(kind, ...) draws from the construction Rng.
+bool scheme_uses_construction_rng(SchemeKind kind);
+
+/// True when make_scheme(kind, ...) reads the throughput estimates.
+bool scheme_uses_throughputs(SchemeKind kind);
+
+/// Thread-safe (shared-mutex, read-mostly) map from a scheme fingerprint to
+/// a shared immutable scheme instance. Result-transparent by construction:
+/// get_or_create builds a missing entry exactly the way run_experiment
+/// would — Rng(construction_seed) fed to make_scheme — so cached and
+/// uncached runs produce identical schemes.
+class SchemeCache {
+ public:
+  SchemeCache() = default;
+  SchemeCache(const SchemeCache&) = delete;
+  SchemeCache& operator=(const SchemeCache&) = delete;
+
+  /// Return the cached scheme for this fingerprint, constructing and
+  /// inserting it on a miss. Concurrent misses on the same key may both
+  /// construct; the first insert wins and the duplicate is discarded, so
+  /// callers always agree on one instance.
+  std::shared_ptr<const CodingScheme> get_or_create(
+      SchemeKind kind, const Throughputs& c, std::size_t k, std::size_t s,
+      std::uint64_t construction_seed);
+
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+  void clear();
+
+ private:
+  struct Key {
+    SchemeKind kind;
+    std::size_t m;
+    std::size_t k;
+    std::size_t s;
+    std::uint64_t seed;  ///< 0 for deterministic constructions
+    /// Bit patterns of the estimated throughputs (empty for
+    /// throughput-oblivious schemes). Stored as bits, not doubles, so the
+    /// defaulted equality agrees with the hash: -0.0 and +0.0 are distinct
+    /// keys and a NaN key equals itself, keeping the unordered_map
+    /// contract even for pathological caller input.
+    std::vector<std::uint64_t> c_bits;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const CodingScheme>, KeyHash> map_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace hgc

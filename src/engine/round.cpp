@@ -8,8 +8,9 @@
 
 namespace hgc::engine {
 
-MasterActor::MasterActor(Simulation& sim, const CodingScheme& scheme)
-    : Actor(sim, "master"), decoder_(scheme) {}
+MasterActor::MasterActor(Simulation& sim, const CodingScheme& scheme,
+                         DecodingCache* decoding_cache)
+    : Actor(sim, "master"), decoder_(scheme, decoding_cache) {}
 
 void MasterActor::begin_round(std::uint64_t iteration) {
   decoder_.reset();
@@ -108,7 +109,7 @@ RoundOutcome run_round(const CodingScheme& scheme, const Cluster& cluster,
               "wire frames require partition gradients");
 
   Simulation sim;
-  MasterActor master(sim, scheme);
+  MasterActor master(sim, scheme, options.decoding_cache);
   master.begin_round(options.iteration);
 
   RoundOutcome outcome;

@@ -38,6 +38,12 @@ struct RoundOptions {
   bool wire_frames = false;
   /// Iteration tag stamped into wire frames.
   std::uint64_t iteration = 0;
+  /// Optional LRU of solved decoding coefficients (the paper's Section III-B
+  /// storage optimization). Must wrap the round's scheme. Callers running
+  /// many rounds against one scheme share it across rounds so repeated
+  /// straggler patterns skip the O(s³) solve; not thread-safe, so parallel
+  /// callers keep one per thread.
+  DecodingCache* decoding_cache = nullptr;
 };
 
 /// Outcome of one engine round.
@@ -60,7 +66,8 @@ struct RoundOutcome {
 /// sufficient set, then stops the simulation.
 class MasterActor : public Actor {
  public:
-  MasterActor(Simulation& sim, const CodingScheme& scheme);
+  MasterActor(Simulation& sim, const CodingScheme& scheme,
+              DecodingCache* decoding_cache = nullptr);
 
   /// Arm for (another) round; resets the decoder. `iteration` is the tag
   /// expected on incoming wire frames.

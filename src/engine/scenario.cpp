@@ -1,6 +1,7 @@
 #include "engine/scenario.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "engine/link.hpp"
@@ -67,9 +68,26 @@ ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
   auto scheme = rebuild();
   result.scheme = scheme->name();
 
+  // The decoding cache keys on the scheme's receive patterns, so every
+  // re-instantiation invalidates it wholesale; rebuilding is the only
+  // correct response to a membership change.
+  std::optional<DecodingCache> decoding_cache;
+  const auto harvest_cache = [&] {
+    if (!decoding_cache) return;
+    result.decode_hits += decoding_cache->hits();
+    result.decode_misses += decoding_cache->misses();
+  };
+  const auto rebuild_cache = [&] {
+    harvest_cache();
+    if (config.decoding_cache_capacity > 0)
+      decoding_cache.emplace(*scheme, config.decoding_cache_capacity);
+  };
+  rebuild_cache();
+
   double clock = 0.0;
   std::size_t next_event = 0;
   FixedLatencyLink link(config.sim.comm_latency);
+  RoundOptions round_options;
 
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     // Apply every membership change that has come due, then re-instantiate
@@ -95,13 +113,16 @@ ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
       ++epoch;
       active = cluster_of(roster, epoch);
       scheme = rebuild();
+      rebuild_cache();
       ++result.reinstantiations;
     }
 
     const IterationConditions conditions =
         config.model.draw(active.size(), condition_rng);
+    round_options.decoding_cache =
+        decoding_cache ? &*decoding_cache : nullptr;
     const RoundOutcome round =
-        run_round(*scheme, active, conditions, link);
+        run_round(*scheme, active, conditions, link, round_options);
     ++result.iterations_run;
     if (!round.decoded) {
       ++result.failures;
@@ -112,6 +133,7 @@ ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
     result.latency.add(round.time);
   }
 
+  harvest_cache();
   result.total_time = clock;
   return result;
 }
@@ -136,11 +158,17 @@ TraceReplayResult replay_trace(SchemeKind kind, const Cluster& cluster,
   result.iterations = iterations;
   FixedLatencyLink link(config.sim.comm_latency);
 
+  std::optional<DecodingCache> decoding_cache;
+  if (config.decoding_cache_capacity > 0)
+    decoding_cache.emplace(*scheme, config.decoding_cache_capacity);
+  RoundOptions round_options;
+  round_options.decoding_cache = decoding_cache ? &*decoding_cache : nullptr;
+
   double clock = 0.0;
   for (std::size_t iter = 0; iter < iterations; ++iter) {
     const IterationConditions conditions = trace.conditions(iter);
     const RoundOutcome round =
-        run_round(*scheme, cluster, conditions, link);
+        run_round(*scheme, cluster, conditions, link, round_options);
     if (!round.decoded) {
       ++result.failures;
       continue;
@@ -148,6 +176,10 @@ TraceReplayResult replay_trace(SchemeKind kind, const Cluster& cluster,
     clock += round.time;
     result.iteration_time.add(round.time);
     result.latency.add(round.time);
+  }
+  if (decoding_cache) {
+    result.decode_hits = decoding_cache->hits();
+    result.decode_misses = decoding_cache->misses();
   }
   result.total_time = clock;
   return result;

@@ -52,6 +52,9 @@ struct ChurnConfig {
   SimParams sim;
   std::uint64_t seed = 42;
   std::vector<ChurnEvent> events;  ///< must be sorted by time, ascending
+  /// Decoding-coefficient LRU capacity; 0 = solve every round. The cache is
+  /// bound to the scheme, so churn rebuilds it with every re-instantiation.
+  std::size_t decoding_cache_capacity = 0;
 };
 
 /// Outcome of a churn run.
@@ -65,6 +68,9 @@ struct ChurnResult {
   ReservoirQuantiles latency{1024};  ///< p50/p95/p99 round latency
   /// Active worker count per membership epoch, initial epoch first.
   std::vector<std::size_t> epoch_sizes;
+  /// Decoding-cache traffic summed over epochs (0/0 when disabled).
+  std::size_t decode_hits = 0;
+  std::size_t decode_misses = 0;
 };
 
 /// Run `kind` on `initial` while applying the configured membership events.
@@ -80,6 +86,8 @@ struct TraceReplayConfig {
   std::size_t k = 0;           ///< 0 = 2m
   SimParams sim;
   std::uint64_t seed = 42;     ///< scheme-construction randomness only
+  /// Decoding-coefficient LRU capacity; 0 = solve every round.
+  std::size_t decoding_cache_capacity = 0;
 };
 
 /// Outcome of replaying one scheme against a trace.
@@ -90,6 +98,9 @@ struct TraceReplayResult {
   double total_time = 0.0;
   RunningStats iteration_time;
   ReservoirQuantiles latency{1024};
+  /// Decoding-cache traffic (0/0 when disabled).
+  std::size_t decode_hits = 0;
+  std::size_t decode_misses = 0;
 };
 
 /// Replay `trace` (one row per iteration, wrapping) under `kind` on

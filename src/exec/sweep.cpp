@@ -166,9 +166,21 @@ std::vector<Cell> expand(const SweepGrid& grid) {
 
 namespace {
 
-CellResult run_static_cell(const Cell& cell) {
+void record_decode_traffic(const SweepOptions& opts, std::size_t hits,
+                           std::size_t misses) {
+  if (!opts.cache_stats) return;
+  opts.cache_stats->decode_hits.fetch_add(hits, std::memory_order_relaxed);
+  opts.cache_stats->decode_misses.fetch_add(misses,
+                                            std::memory_order_relaxed);
+}
+
+CellResult run_static_cell(const Cell& cell, const SweepOptions& opts) {
+  ExperimentConfig config = cell.experiment;
+  config.scheme_cache = opts.scheme_cache;
+  config.decoding_cache_capacity = opts.decoding_cache_capacity;
   const SchemeSummary summary =
-      run_experiment(cell.scheme, *cell.cluster, cell.experiment);
+      run_experiment(cell.scheme, *cell.cluster, config);
+  record_decode_traffic(opts, summary.decode_hits, summary.decode_misses);
   CellResult result;
   result.stats.emplace_back("time", summary.iteration_time);
   result.stats.emplace_back("usage", summary.resource_usage);
@@ -178,7 +190,8 @@ CellResult run_static_cell(const Cell& cell) {
   return result;
 }
 
-CellResult run_churn_cell(const Cell& cell, const ScenarioSpec& scenario) {
+CellResult run_churn_cell(const Cell& cell, const ScenarioSpec& scenario,
+                          const SweepOptions& opts) {
   engine::ChurnConfig config;
   config.iterations = cell.experiment.iterations;
   config.s = cell.experiment.s;
@@ -187,8 +200,10 @@ CellResult run_churn_cell(const Cell& cell, const ScenarioSpec& scenario) {
   config.sim = cell.experiment.sim;
   config.seed = cell.experiment.seed;
   config.events = scenario.churn_events;
+  config.decoding_cache_capacity = opts.decoding_cache_capacity;
   const engine::ChurnResult churn =
       engine::run_churn_scenario(cell.scheme, *cell.cluster, config);
+  record_decode_traffic(opts, churn.decode_hits, churn.decode_misses);
   CellResult result;
   result.stats.emplace_back("time", churn.iteration_time);
   result.quantiles.emplace_back("latency", churn.latency);
@@ -200,15 +215,18 @@ CellResult run_churn_cell(const Cell& cell, const ScenarioSpec& scenario) {
   return result;
 }
 
-CellResult run_trace_cell(const Cell& cell, const ScenarioSpec& scenario) {
+CellResult run_trace_cell(const Cell& cell, const ScenarioSpec& scenario,
+                          const SweepOptions& opts) {
   engine::TraceReplayConfig config;
   config.iterations = cell.experiment.iterations;
   config.s = cell.experiment.s;
   config.k = cell.experiment.k;
   config.sim = cell.experiment.sim;
   config.seed = cell.experiment.seed;
+  config.decoding_cache_capacity = opts.decoding_cache_capacity;
   const engine::TraceReplayResult replay = engine::replay_trace(
       cell.scheme, *cell.cluster, scenario.trace, config);
+  record_decode_traffic(opts, replay.decode_hits, replay.decode_misses);
   CellResult result;
   result.stats.emplace_back("time", replay.iteration_time);
   result.quantiles.emplace_back("latency", replay.latency);
@@ -255,17 +273,17 @@ ResultTable run_sweep(const SweepGrid& grid, const CellFn& fn,
 }
 
 ResultTable run_sweep(const SweepGrid& grid, const SweepOptions& opts) {
-  const CellFn fn = [&grid](const Cell& cell) {
+  const CellFn fn = [&grid, &opts](const Cell& cell) {
     const ScenarioSpec& scenario = grid.scenarios[cell.scenario_index];
     switch (scenario.kind) {
       case ScenarioKind::kChurn:
-        return run_churn_cell(cell, scenario);
+        return run_churn_cell(cell, scenario, opts);
       case ScenarioKind::kTraceReplay:
-        return run_trace_cell(cell, scenario);
+        return run_trace_cell(cell, scenario, opts);
       case ScenarioKind::kStatic:
         break;
     }
-    return run_static_cell(cell);
+    return run_static_cell(cell, opts);
   };
   return run_sweep(grid, fn, opts);
 }

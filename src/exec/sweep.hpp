@@ -18,6 +18,7 @@
 //      concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/straggler.hpp"
+#include "core/scheme_cache.hpp"
 #include "core/scheme_factory.hpp"
 #include "engine/delay_trace.hpp"
 #include "engine/scenario.hpp"
@@ -133,8 +135,25 @@ struct CellResult {
 /// cells (capture shared inputs by const reference only).
 using CellFn = std::function<CellResult(const Cell&)>;
 
+/// Aggregated decoding-cache traffic across all cells of a sweep. Collected
+/// out of band — never written into the ResultTable — so enabling the caches
+/// cannot change a byte of the sweep's output.
+struct SweepCacheStats {
+  std::atomic<std::size_t> decode_hits{0};
+  std::atomic<std::size_t> decode_misses{0};
+};
+
 struct SweepOptions {
   std::size_t threads = 0;  ///< 0 = ThreadPool::default_threads()
+  /// Shared scheme-construction cache (thread-safe; cells differing only in
+  /// axes the construction ignores reuse one scheme). nullptr = off.
+  SchemeCache* scheme_cache = nullptr;
+  /// Per-cell decoding-coefficient LRU capacity; 0 = off. Each cell owns its
+  /// cache, keeping cells race-free at any thread count.
+  std::size_t decoding_cache_capacity = 0;
+  /// When non-null, the built-in cell bodies accumulate decoding-cache
+  /// hits/misses here (scheme-cache stats live on the SchemeCache itself).
+  SweepCacheStats* cache_stats = nullptr;
 };
 
 /// Expand the grid into cells (cartesian product, deterministic order:

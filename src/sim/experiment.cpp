@@ -40,15 +40,27 @@ SchemeSummary run_experiment(SchemeKind kind, const Cluster& cluster,
   // Three independent, seed-derived streams so that (a) per-iteration
   // conditions are identical across schemes, (b) construction randomness and
   // estimation noise do not perturb the condition stream.
-  Rng construction_rng(config.seed);
   Rng estimation_rng(config.seed + 0x9e37);
   Rng condition_rng(config.seed + 0x79b9);
 
   const Throughputs truth = cluster.throughputs();
   const Throughputs estimated =
       estimate_throughputs(truth, config.estimation_sigma, estimation_rng);
-  const auto scheme =
-      make_scheme(kind, estimated, k, config.s, construction_rng);
+  // Construction is a deterministic function of (kind, estimated, k, s,
+  // seed), which is what makes the shared cache result-transparent; the
+  // uncached path below is what the cache replays on a miss.
+  std::shared_ptr<const CodingScheme> scheme;
+  if (config.scheme_cache) {
+    scheme = config.scheme_cache->get_or_create(kind, estimated, k, config.s,
+                                                config.seed);
+  } else {
+    Rng construction_rng(config.seed);
+    scheme = make_scheme(kind, estimated, k, config.s, construction_rng);
+  }
+
+  std::optional<DecodingCache> decoding_cache;
+  if (config.decoding_cache_capacity > 0)
+    decoding_cache.emplace(*scheme, config.decoding_cache_capacity);
 
   SchemeSummary summary;
   summary.scheme = scheme->name();
@@ -57,13 +69,18 @@ SchemeSummary run_experiment(SchemeKind kind, const Cluster& cluster,
     const IterationConditions conditions = config.model.draw(m, condition_rng);
     if (conditions_log) conditions_log->push_back(conditions);
     const IterationResult result =
-        simulate_iteration(*scheme, cluster, conditions, config.sim);
+        simulate_iteration(*scheme, cluster, conditions, config.sim,
+                           decoding_cache ? &*decoding_cache : nullptr);
     if (!result.decoded) {
       ++summary.failures;
       continue;
     }
     summary.iteration_time.add(result.time);
     summary.resource_usage.add(result.resource_usage);
+  }
+  if (decoding_cache) {
+    summary.decode_hits = decoding_cache->hits();
+    summary.decode_misses = decoding_cache->misses();
   }
   return summary;
 }

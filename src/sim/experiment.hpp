@@ -12,6 +12,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/straggler.hpp"
+#include "core/scheme_cache.hpp"
 #include "core/scheme_factory.hpp"
 #include "sim/iteration.hpp"
 #include "util/stats.hpp"
@@ -28,6 +29,14 @@ struct ExperimentConfig {
   std::size_t iterations = 300;
   std::uint64_t seed = 42;
   SimParams sim;
+  /// Shared, thread-safe scheme-construction cache; nullptr = construct
+  /// from scratch. Result-transparent: the cache builds missing entries
+  /// exactly like the uncached path (Rng(seed) into make_scheme).
+  SchemeCache* scheme_cache = nullptr;
+  /// Capacity of the per-run decoding-coefficient LRU (paper Section III-B
+  /// "regular stragglers"); 0 disables it. The cache lives for the duration
+  /// of one run_experiment call, so it is never shared across threads.
+  std::size_t decoding_cache_capacity = 0;
 };
 
 /// Aggregated outcome of an experiment cell for one scheme.
@@ -37,6 +46,11 @@ struct SchemeSummary {
   RunningStats resource_usage;
   std::size_t failures = 0;     ///< iterations that could not decode
   std::size_t iterations = 0;
+  /// Decoding-cache traffic (both 0 when the cache was disabled). Reported
+  /// out of band — never part of the figure metrics, so cached and uncached
+  /// runs stay byte-identical.
+  std::size_t decode_hits = 0;
+  std::size_t decode_misses = 0;
 
   double mean_time() const { return iteration_time.mean(); }
   double mean_usage() const { return resource_usage.mean(); }

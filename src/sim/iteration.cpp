@@ -11,13 +11,16 @@ namespace hgc {
 IterationResult simulate_iteration(const CodingScheme& scheme,
                                    const Cluster& cluster,
                                    const IterationConditions& conditions,
-                                   const SimParams& params) {
+                                   const SimParams& params,
+                                   DecodingCache* decoding_cache) {
   HGC_REQUIRE(params.comm_latency >= 0.0, "latency must be non-negative");
 
   // Timing-only round on the event engine over a constant-latency link.
   engine::FixedLatencyLink link(params.comm_latency);
+  engine::RoundOptions options;
+  options.decoding_cache = decoding_cache;
   engine::RoundOutcome round =
-      engine::run_round(scheme, cluster, conditions, link);
+      engine::run_round(scheme, cluster, conditions, link, options);
 
   IterationResult result;
   result.decoded = round.decoded;

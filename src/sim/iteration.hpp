@@ -15,6 +15,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/straggler.hpp"
 #include "core/coding_scheme.hpp"
+#include "core/decoding_cache.hpp"
 
 namespace hgc {
 
@@ -45,10 +46,14 @@ struct IterationResult {
 };
 
 /// Simulate one iteration of `scheme` on `cluster` under `conditions`.
+/// `decoding_cache`, when non-null, must wrap `scheme`; callers replaying
+/// many iterations share it so recurring straggler patterns decode from the
+/// LRU instead of re-solving (result-transparent either way).
 IterationResult simulate_iteration(const CodingScheme& scheme,
                                    const Cluster& cluster,
                                    const IterationConditions& conditions,
-                                   const SimParams& params = {});
+                                   const SimParams& params = {},
+                                   DecodingCache* decoding_cache = nullptr);
 
 /// The balanced-optimum iteration time (s+1)/Σw of Theorem 5 translated to
 /// cluster units (datasets/second); what heter-aware achieves with exact

@@ -16,10 +16,15 @@ Args::Args(int argc, const char* const* argv) {
     const auto eq = token.find('=');
     if (eq != std::string::npos) {
       values_[token.substr(0, eq)] = token.substr(eq + 1);
+      bare_flags_.erase(token.substr(0, eq));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[token] = argv[++i];
+      bare_flags_.erase(token);
     } else {
-      values_[token] = "true";  // bare flag
+      // Bare flag: remember it as such so a value-typed read of this key
+      // fails loudly instead of yielding the literal string "true".
+      values_[token] = "true";
+      bare_flags_.insert(token);
     }
   }
 }
@@ -29,29 +34,59 @@ bool Args::has(const std::string& key) const {
   return values_.count(key) > 0;
 }
 
-std::string Args::get(const std::string& key,
-                      const std::string& fallback) const {
+const std::string* Args::find_value(const std::string& key) const {
   queried_.insert(key);
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
+  if (it == values_.end()) return nullptr;
+  if (bare_flags_.count(key) > 0)
+    throw std::invalid_argument(
+        "--" + key + " requires a value (it was given as a bare flag; was "
+        "the value swallowed by the next option?)");
+  return &it->second;
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const std::string* raw = find_value(key);
+  return raw ? *raw : fallback;
 }
 
 std::int64_t Args::get_int(const std::string& key,
                            std::int64_t fallback) const {
-  const std::string raw = get(key, "");
-  if (raw.empty()) return fallback;
-  return std::stoll(raw);
+  const std::string* raw = find_value(key);
+  if (!raw) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(*raw, &consumed);
+    if (consumed != raw->size())
+      throw std::invalid_argument("trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("not an integer: --" + key + "=" + *raw);
+  }
 }
 
 double Args::get_double(const std::string& key, double fallback) const {
-  const std::string raw = get(key, "");
-  if (raw.empty()) return fallback;
-  return std::stod(raw);
+  const std::string* raw = find_value(key);
+  if (!raw) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(*raw, &consumed);
+    if (consumed != raw->size())
+      throw std::invalid_argument("trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("not a number: --" + key + "=" + *raw);
+  }
 }
 
 bool Args::get_bool(const std::string& key, bool fallback) const {
-  const std::string raw = get(key, "");
-  if (raw.empty()) return fallback;
+  // Deliberately not find_value: a bare flag is the idiomatic way to say
+  // true, so bools read the raw stored value.
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& raw = it->second;
   if (raw == "true" || raw == "1" || raw == "yes") return true;
   if (raw == "false" || raw == "0" || raw == "no") return false;
   throw std::invalid_argument("not a boolean: --" + key + "=" + raw);

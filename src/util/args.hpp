@@ -1,7 +1,11 @@
 // Minimal command-line parsing for the bench and example binaries.
 //
 // Supports `--key value` and `--key=value` pairs plus boolean `--flag`.
-// Unrecognized keys raise an error so sweep scripts fail loudly on typos.
+// Unrecognized keys raise an error so sweep scripts fail loudly on typos,
+// and so do value-typed reads of a bare flag (`--csv --threads 4` must not
+// silently write a file named "true") and malformed numbers
+// (`--threads=abc` names the offending flag instead of leaking a bare
+// std::stoll exception).
 #pragma once
 
 #include <cstdint>
@@ -18,9 +22,16 @@ class Args {
 
   bool has(const std::string& key) const;
 
+  /// Value-typed accessors. A key that was given as a bare flag (no `=value`
+  /// and no following value token) throws std::invalid_argument naming the
+  /// flag; get_int/get_double additionally reject values that are not (in
+  /// their entirety) valid numbers.
   std::string get(const std::string& key, const std::string& fallback) const;
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
+
+  /// Boolean accessor: bare `--flag` means true; `=true/1/yes` and
+  /// `=false/0/no` are accepted, anything else throws.
   bool get_bool(const std::string& key, bool fallback) const;
 
   /// Throws std::invalid_argument if any provided key was never queried;
@@ -28,7 +39,12 @@ class Args {
   void check_unused() const;
 
  private:
+  /// Raw value, or nullptr when the key is absent; throws when the key was
+  /// given as a bare flag (value-typed accessors only).
+  const std::string* find_value(const std::string& key) const;
+
   std::map<std::string, std::string> values_;
+  std::set<std::string> bare_flags_;  ///< keys given without a value
   mutable std::set<std::string> queried_;
 };
 

@@ -1,9 +1,12 @@
 // Tests for the LRU decoding-coefficient cache (the paper's "partially
-// stored" decoding matrix, Section III-B).
+// stored" decoding matrix, Section III-B) and its wiring into the
+// robustness hot paths (completion_time / worst_case_time), including the
+// duplicate-tail-solve fix verified with a solve-counting scheme wrapper.
 #include <gtest/gtest.h>
 
 #include "core/decoding_cache.hpp"
 #include "core/heter_aware.hpp"
+#include "core/robustness.hpp"
 #include "util/rng.hpp"
 
 namespace hgc {
@@ -70,6 +73,19 @@ TEST_F(DecodingCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.misses(), misses_before + 1);
 }
 
+TEST_F(DecodingCacheTest, CapacityOneKeepsOnlyTheLatestPattern) {
+  DecodingCache cache(scheme_, 1);
+  cache.decode(all_but({0}));  // A cached
+  EXPECT_EQ(cache.size(), 1u);
+  cache.decode(all_but({1}));  // B evicts A immediately
+  EXPECT_EQ(cache.size(), 1u);
+  cache.decode(all_but({1}));  // B still resident
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.decode(all_but({0}));  // A was evicted: miss again
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 TEST_F(DecodingCacheTest, ClearResets) {
   DecodingCache cache(scheme_);
   cache.decode(all_but({0}));
@@ -104,6 +120,123 @@ TEST(DecodingCacheWide, DistinguishesPatternsBeyond64Workers) {
   ASSERT_TRUE(cb.has_value());
   EXPECT_EQ(cache.misses(), 2u);  // distinct keys, both misses
   EXPECT_NE(*ca, *cb);
+}
+
+// Delegating wrapper that counts how many real decoding solves a call path
+// performs — the instrument behind the duplicate-solve and cache-wiring
+// assertions below.
+class CountingScheme : public CodingScheme {
+ public:
+  explicit CountingScheme(const CodingScheme& inner)
+      : CodingScheme(Matrix(inner.coding_matrix()),
+                     Assignment(inner.assignment()),
+                     inner.stragglers_tolerated()),
+        inner_(inner) {}
+
+  std::string name() const override { return "counting"; }
+
+  std::optional<Vector> decoding_coefficients(
+      const std::vector<bool>& received) const override {
+    ++solves;
+    return inner_.decoding_coefficients(received);
+  }
+
+  std::size_t min_results_required() const override {
+    return inner_.min_results_required();
+  }
+
+  mutable std::size_t solves = 0;
+
+ private:
+  const CodingScheme& inner_;
+};
+
+// A scheme that can never decode and accepts probes from the first arrival
+// on: the exact shape that used to trigger completion_time's redundant
+// tail re-solve of the full received set.
+class NeverDecodableScheme : public CodingScheme {
+ public:
+  NeverDecodableScheme()
+      : CodingScheme(Matrix{{1, 1}, {1, 1}, {1, 1}},
+                     Assignment{{0, 1}, {0, 1}, {0, 1}}, 1) {}
+
+  std::string name() const override { return "never"; }
+
+  std::optional<Vector> decoding_coefficients(
+      const std::vector<bool>&) const override {
+    ++solves;
+    return std::nullopt;
+  }
+
+  std::size_t min_results_required() const override { return 1; }
+
+  mutable std::size_t solves = 0;
+};
+
+TEST(CompletionTimeSolves, NoDuplicateSolveWhenLoopAlreadyTriedFullSet) {
+  // 3 survivors, min_results_required = 1: the arrival loop attempts the
+  // decode at counts 1, 2 and 3 — the last attempt IS the full received
+  // set, so the undecodable tail must not re-run that identical solve.
+  NeverDecodableScheme scheme;
+  const Throughputs c = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(completion_time(scheme, c, {}).has_value());
+  EXPECT_EQ(scheme.solves, 3u);
+}
+
+TEST(CompletionTimeSolves, TailStillRunsWhenLoopNeverReachedFullSet) {
+  // Heter-aware with s = 1 has min_results_required = m - 1; with two
+  // stragglers only m - 2 survivors arrive, the loop never attempts a
+  // decode, and the tail case must still probe the full survivor set once.
+  Rng rng(151);
+  HeterAwareScheme inner({1, 2, 3, 4, 4}, 7, 1, rng);
+  CountingScheme scheme(inner);
+  const Throughputs c = {1.0, 2.0, 3.0, 4.0, 4.0};
+  EXPECT_FALSE(completion_time(scheme, c, {3, 4}).has_value());
+  EXPECT_EQ(scheme.solves, 1u);
+}
+
+TEST(CompletionTimeSolves, CacheAbsorbsRepeatedPatterns) {
+  Rng rng(152);
+  HeterAwareScheme inner({1, 2, 3, 4, 4}, 7, 1, rng);
+  CountingScheme scheme(inner);
+  const Throughputs c = {1.0, 2.0, 3.0, 4.0, 4.0};
+
+  const auto uncached = completion_time(scheme, c, {2});
+  const std::size_t solves_per_call = scheme.solves;
+  ASSERT_TRUE(uncached.has_value());
+  ASSERT_GE(solves_per_call, 1u);
+
+  DecodingCache cache(scheme);
+  const auto first = completion_time(scheme, c, {2}, &cache);
+  const auto second = completion_time(scheme, c, {2}, &cache);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *uncached);
+  EXPECT_EQ(*second, *uncached);
+  // The second cached call resolved entirely from the LRU.
+  EXPECT_EQ(scheme.solves, 2 * solves_per_call);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(WorstCaseTimeSolves, SharedCacheMatchesUncachedAndSavesSolves) {
+  Rng rng(153);
+  HeterAwareScheme inner({1, 2, 3, 4, 4}, 7, 2, rng);
+  CountingScheme scheme(inner);
+  const Throughputs c = {1.0, 2.0, 3.0, 4.0, 4.0};
+
+  const auto uncached = worst_case_time(scheme, c);
+  const std::size_t uncached_solves = scheme.solves;
+  ASSERT_TRUE(uncached.has_value());
+
+  scheme.solves = 0;
+  DecodingCache cache(scheme);
+  const auto cached = worst_case_time(scheme, c, &cache);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, *uncached);
+  // Arrival prefixes overlap across the C(m, s) patterns, so the shared
+  // cache must strictly reduce the number of real solves.
+  EXPECT_LT(scheme.solves, uncached_solves);
+  EXPECT_GT(cache.hits(), 0u);
 }
 
 }  // namespace

@@ -151,6 +151,50 @@ TEST(RunSweep, BitIdenticalAcrossThreadCounts) {
   EXPECT_FALSE(serial.empty());
 }
 
+TEST(RunSweep, CachesAreResultTransparentAtAnyThreadCount) {
+  // The tentpole invariant of the caching subsystem: a shared scheme cache
+  // plus per-cell decoding caches must not change a byte of the table,
+  // serial or parallel. (Runs under TSan in CI: cells on 4 pool threads
+  // race on the shared SchemeCache.)
+  const SweepGrid grid = small_grid();
+  const std::string uncached = csv_of(run_sweep(grid, {.threads = 1}));
+
+  SchemeCache scheme_cache;
+  SweepCacheStats stats;
+  SweepOptions cached_serial;
+  cached_serial.threads = 1;
+  cached_serial.scheme_cache = &scheme_cache;
+  cached_serial.decoding_cache_capacity = 256;
+  cached_serial.cache_stats = &stats;
+  EXPECT_EQ(csv_of(run_sweep(grid, cached_serial)), uncached);
+
+  SweepOptions cached_parallel = cached_serial;
+  cached_parallel.threads = 4;
+  EXPECT_EQ(csv_of(run_sweep(grid, cached_parallel)), uncached);
+
+  // The grid repeats schemes across seeds/models, so both caches must see
+  // real traffic — hit rates, not just equality, prove the wiring is live.
+  EXPECT_GT(scheme_cache.hits(), 0u);
+  EXPECT_GT(stats.decode_hits.load() + stats.decode_misses.load(), 0u);
+}
+
+TEST(RunSweep, ScenarioCellsAreCacheTransparentToo) {
+  SweepGrid grid = scenarios_grid(15);
+  grid.schemes = {SchemeKind::kHeterAware};
+  const std::string uncached = csv_of(run_sweep(grid, {.threads = 2}));
+  SweepOptions cached;
+  cached.threads = 2;
+  SchemeCache scheme_cache;
+  SweepCacheStats stats;
+  cached.scheme_cache = &scheme_cache;
+  cached.decoding_cache_capacity = 256;
+  cached.cache_stats = &stats;
+  EXPECT_EQ(csv_of(run_sweep(grid, cached)), uncached);
+  // Churn/trace cells run tens of rounds against one scheme: the decoding
+  // cache must have absorbed repeats.
+  EXPECT_GT(stats.decode_hits.load(), 0u);
+}
+
 TEST(RunSweep, CustomCellFnSeesCustomAxes) {
   SweepGrid grid;
   grid.clusters = {cluster_a()};

@@ -395,5 +395,54 @@ TEST(Args, BooleanParsing) {
   EXPECT_THROW(args.get_bool("c", false), std::invalid_argument);
 }
 
+TEST(Args, BareFlagRejectsValueTypedReads) {
+  // `--csv --threads 4`: the value of --csv was swallowed by the next
+  // option; reading it as a string must fail loudly, not return "true"
+  // (which used to end up as a file literally named "true").
+  const char* argv[] = {"prog", "--csv", "--threads", "4"};
+  Args args(4, argv);
+  EXPECT_EQ(args.get_int("threads", 0), 4);
+  try {
+    args.get("csv", "-");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--csv"), std::string::npos);
+  }
+  // The same bare token is still a perfectly good boolean.
+  EXPECT_TRUE(args.get_bool("csv", false));
+}
+
+TEST(Args, BareFlagRejectsNumericReads) {
+  const char* argv[] = {"prog", "--iters", "--csv", "out.csv"};
+  Args args(4, argv);
+  EXPECT_THROW(args.get_int("iters", 7), std::invalid_argument);
+  EXPECT_THROW(args.get_double("iters", 0.5), std::invalid_argument);
+}
+
+TEST(Args, MalformedNumbersNameTheFlag) {
+  const char* argv[] = {"prog", "--iters=abc", "--sigma=0.5x", "--k=12"};
+  Args args(4, argv);
+  EXPECT_EQ(args.get_int("k", 0), 12);
+  try {
+    args.get_int("iters", 0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--iters=abc"), std::string::npos);
+  }
+  try {
+    args.get_double("sigma", 0.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--sigma=0.5x"), std::string::npos);
+  }
+}
+
+TEST(Args, NegativeValuesStillParse) {
+  const char* argv[] = {"prog", "--delta", "-3", "--offset=-0.25"};
+  Args args(4, argv);
+  EXPECT_EQ(args.get_int("delta", 0), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("offset", 0.0), -0.25);
+}
+
 }  // namespace
 }  // namespace hgc
