@@ -5,9 +5,23 @@
 // repeated-straggler ("regular stragglers") workload and the shared scheme
 // cache against from-scratch construction. The *Cached benches export a
 // hit_rate counter so the win is measured, not assumed.
+//
+// The BM_Kernel* group times the linalg kernel/workspace layer at the
+// shapes the decode hot path actually solves (fig3-small m=8 and
+// Cluster-D m=58), reporting mflops and — via the instrumented global
+// allocator below — allocs_per_iter, so the workspace layer's
+// zero-steady-state-allocation claim is measured, not asserted.
+//
+// Flags: our own (`--json out.json` writes the google-benchmark JSON
+// report, for CI's perf-smoke floor check) parse through util/args with its
+// strict `--key value` rules; anything starting with --benchmark passes
+// through to google-benchmark (e.g. --benchmark_filter=Kernel).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/decoder.hpp"
 #include "core/decoding_cache.hpp"
@@ -16,11 +30,42 @@
 #include "core/robustness.hpp"
 #include "core/scheme_cache.hpp"
 #include "core/scheme_factory.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/workspace.hpp"
+#include "util/args.hpp"
 #include "util/rng.hpp"
+
+#include "util/alloc_instrument.hpp"  // instruments this whole binary
 
 namespace {
 
 using namespace hgc;
+
+/// Scope helper: counters["allocs_per_iter"] from the delta across the
+/// timing loop. Construct before the loop, call report() after.
+class AllocCounter {
+ public:
+  AllocCounter() : start_(alloc_instrument::allocation_count()) {}
+  void report(benchmark::State& state) const {
+    const auto total = alloc_instrument::allocation_count() - start_;
+    state.counters["allocs_per_iter"] =
+        state.iterations() > 0
+            ? static_cast<double>(total) /
+                  static_cast<double>(state.iterations())
+            : 0.0;
+  }
+
+ private:
+  std::size_t start_;
+};
+
+/// MFLOP/s counter: `flops` floating-point operations per iteration.
+void report_mflops(benchmark::State& state, double flops) {
+  state.counters["mflops"] = benchmark::Counter(
+      flops * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
+}
 
 Throughputs spread_throughputs(std::size_t m) {
   Throughputs c(m);
@@ -28,6 +73,182 @@ Throughputs spread_throughputs(std::size_t m) {
     c[i] = 2.0 + static_cast<double>(i % 8) * 2.0;  // 2..16, Table II-like
   return c;
 }
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  return m;
+}
+
+// ------------------------------------------------------ kernel benches --
+// Shapes: {8, 16} is the fig3-small regime (m = 8 workers, k = 2m), {58,
+// 116} is Cluster-D (m = 58); gradient-length axpy/dot use DNN-sized flat
+// vectors.
+
+void BM_KernelAxpy(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Vector x(dim, 0.5), y(dim, 0.25);
+  for (auto _ : state) {
+    kernels::axpy(1e-9, x, y);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  report_mflops(state, 2.0 * static_cast<double>(dim));
+}
+BENCHMARK(BM_KernelAxpy)->Arg(116)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_KernelDot(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  Vector x(dim), y(dim);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  for (auto _ : state) {
+    double d = kernels::dot(x, y);
+    benchmark::DoNotOptimize(d);
+  }
+  report_mflops(state, 2.0 * static_cast<double>(dim));
+}
+BENCHMARK(BM_KernelDot)->Arg(116)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_KernelGemv(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  Rng rng(22);
+  const Matrix a = random_matrix(m, k, rng);
+  Vector x(k, 0.5), y(m);
+  for (auto _ : state) {
+    kernels::gemv(a.data().data(), k, m, k, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  report_mflops(state, 2.0 * static_cast<double>(m * k));
+}
+BENCHMARK(BM_KernelGemv)->Args({8, 16})->Args({58, 116})->Args({256, 1024});
+
+void BM_KernelRank1Update(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cols = static_cast<std::size_t>(state.range(1));
+  Rng rng(23);
+  Matrix a = random_matrix(rows, cols, rng);
+  Vector x(rows, 0.5), y(cols, 0.25);
+  for (auto _ : state) {
+    kernels::rank1_update(a.data().data(), cols, rows, cols, 1e-9, x, y);
+    benchmark::DoNotOptimize(a.data().data());
+    benchmark::ClobberMemory();
+  }
+  report_mflops(state, 2.0 * static_cast<double>(rows * cols));
+}
+BENCHMARK(BM_KernelRank1Update)->Args({8, 116})->Args({10, 784});
+
+void BM_KernelLuSolveAllocating(benchmark::State& state) {
+  // The one-shot path Alg. 1 used per partition before the workspace layer:
+  // copy + factor + solve, allocating factors and the solution every call.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(24);
+  Matrix a = random_matrix(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  const Vector ones(n, 1.0);
+  AllocCounter allocs;
+  for (auto _ : state) {
+    Vector x = lu_solve(a, ones);
+    benchmark::DoNotOptimize(x.data());
+  }
+  allocs.report(state);
+  report_mflops(state, 2.0 / 3.0 * static_cast<double>(n * n * n) +
+                           2.0 * static_cast<double>(n * n));
+}
+BENCHMARK(BM_KernelLuSolveAllocating)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_KernelLuSolveWorkspace(benchmark::State& state) {
+  // Same solve through a reused LuWorkspace: zero allocations steady-state.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(24);
+  Matrix a = random_matrix(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  const Vector ones(n, 1.0);
+  LuWorkspace ws;
+  Vector x;
+  ws.factor(a);
+  ws.solve_into(ones, x);  // warm-up sizes every buffer
+  AllocCounter allocs;
+  for (auto _ : state) {
+    ws.factor(a);
+    ws.solve_into(ones, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  allocs.report(state);
+  report_mflops(state, 2.0 / 3.0 * static_cast<double>(n * n * n) +
+                           2.0 * static_cast<double>(n * n));
+}
+BENCHMARK(BM_KernelLuSolveWorkspace)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_KernelLeastSquaresAllocating(benchmark::State& state) {
+  // The pre-workspace generic-decode inner solve at decode shapes: B_Rᵀ is
+  // k×|R| with one straggler missing; select_rows + transposed + QR, all
+  // freshly allocated per call.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Throughputs c = spread_throughputs(m);
+  Rng rng(25);
+  HeterAwareScheme scheme(c, 2 * m, 1, rng);
+  std::vector<std::size_t> rows;
+  for (std::size_t w = 1; w < m; ++w) rows.push_back(w);
+  const Matrix& b = scheme.coding_matrix();
+  const Vector ones(b.cols(), 1.0);
+  AllocCounter allocs;
+  for (auto _ : state) {
+    const Matrix brt = b.select_rows(rows).transposed();
+    auto ls = least_squares(brt, ones);
+    benchmark::DoNotOptimize(ls.x.data());
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_KernelLeastSquaresAllocating)->Arg(8)->Arg(58);
+
+void BM_KernelLeastSquaresWorkspace(benchmark::State& state) {
+  // Same solve against the selected rows through a reused QrWorkspace.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Throughputs c = spread_throughputs(m);
+  Rng rng(25);
+  HeterAwareScheme scheme(c, 2 * m, 1, rng);
+  std::vector<std::size_t> rows;
+  for (std::size_t w = 1; w < m; ++w) rows.push_back(w);
+  const Matrix& b = scheme.coding_matrix();
+  const Vector ones(b.cols(), 1.0);
+  QrWorkspace ws;
+  Vector x;
+  ws.factor_transposed(RowSelectView(b, rows));
+  ws.solve_into(ones, x);  // warm-up
+  AllocCounter allocs;
+  for (auto _ : state) {
+    ws.factor_transposed(RowSelectView(b, rows));
+    double residual = ws.solve_into(ones, x);
+    benchmark::DoNotOptimize(residual);
+    benchmark::DoNotOptimize(x.data());
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_KernelLeastSquaresWorkspace)->Arg(8)->Arg(58);
+
+void BM_Condition1Workspace(benchmark::State& state) {
+  // The robustness sweep: C(m, s) least-squares solves per call, one
+  // workspace across the whole enumeration. allocs_per_iter ≈ 0 after the
+  // warm-up call is the refactor's acceptance criterion.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  const Throughputs c = spread_throughputs(m);
+  Rng rng(26);
+  HeterAwareScheme scheme(c, 2 * m, s, rng);
+  SolveWorkspace ws;
+  bool ok = satisfies_condition1(scheme.coding_matrix(), s, 1e-8, &ws);
+  AllocCounter allocs;
+  for (auto _ : state) {
+    ok = satisfies_condition1(scheme.coding_matrix(), s, 1e-8, &ws);
+    benchmark::DoNotOptimize(ok);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_Condition1Workspace)->Args({8, 2})->Args({12, 2})->Args({16, 2});
 
 void BM_HeterAwareConstruction(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
@@ -69,10 +290,14 @@ void BM_DecodeVectorSolve(benchmark::State& state) {
   HeterAwareScheme scheme(c, 2 * m, s, rng);
   std::vector<bool> received(m, true);
   for (std::size_t i = 0; i < s; ++i) received[2 * i] = false;
+  auto warmup = scheme.decoding_coefficients(received);
+  benchmark::DoNotOptimize(warmup);
+  AllocCounter allocs;
   for (auto _ : state) {
     auto coefficients = scheme.decoding_coefficients(received);
     benchmark::DoNotOptimize(coefficients);
   }
+  allocs.report(state);  // steady state: just the returned vector
 }
 BENCHMARK(BM_DecodeVectorSolve)
     ->Args({8, 1})
@@ -89,10 +314,14 @@ void BM_GenericLeastSquaresDecode(benchmark::State& state) {
   GroupBasedScheme scheme(c, 2 * m, 1, rng);
   std::vector<bool> received(m, true);
   received[0] = false;
+  auto warmup = scheme.decoding_coefficients(received);
+  benchmark::DoNotOptimize(warmup);
+  AllocCounter allocs;
   for (auto _ : state) {
     auto coefficients = scheme.decoding_coefficients(received);
     benchmark::DoNotOptimize(coefficients);
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_GenericLeastSquaresDecode)->Arg(8)->Arg(32)->Arg(58);
 
@@ -300,4 +529,47 @@ BENCHMARK(BM_BuildDecodingMatrix)->Args({8, 1})->Args({8, 2})->Args({16, 2});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: split our flags from google-benchmark's. `--json out.json`
+// writes the JSON report (counters included) next to the console output —
+// that file is CI's BENCH_kernels.json perf artifact.
+int main(int argc, char** argv) {
+  std::vector<std::string> own;
+  std::vector<char*> gbench_args;
+  gbench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark", 0) == 0)
+      gbench_args.push_back(argv[i]);
+    else
+      own.push_back(argv[i]);
+  }
+
+  std::string json_path;
+  try {
+    hgc::Args args{std::span<const std::string>(own)};
+    json_path = args.get("json", "");
+    args.check_unused();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n"
+              << "usage: bench_micro_coding [--json out.json] "
+                 "[--benchmark_* flags]\n";
+    return 2;
+  }
+
+  // --json is sugar for google-benchmark's own file reporter flags, so the
+  // console table and the JSON artifact come out of one run.
+  std::string out_flag = "--benchmark_out=" + json_path;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!json_path.empty()) {
+    gbench_args.push_back(out_flag.data());
+    gbench_args.push_back(format_flag.data());
+  }
+
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                             gbench_args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,14 +4,26 @@
 #include <cmath>
 
 #include "core/allocation.hpp"
-#include "linalg/lu.hpp"
 #include "linalg/nullspace.hpp"
+#include "linalg/workspace.hpp"
 #include "util/error.hpp"
 
 namespace hgc {
 namespace {
 constexpr double kSumTolerance = 1e-12;
-}
+
+/// Per-thread scratch for the Lemma 2 decode: the packed C_Sᵀ, its RREF and
+/// null-space basis, plus the missing-column selection. Reused call over
+/// call, so novel straggler patterns stop costing per-decode allocations.
+struct Alg1DecodeWorkspace {
+  Matrix cst;
+  Matrix rref;
+  Matrix basis;
+  std::vector<std::size_t> pivots;
+  std::vector<std::size_t> missing;
+};
+
+}  // namespace
 
 Alg1Code::Alg1Code(Matrix c, std::vector<WorkerId> workers, std::size_t s)
     : c_(std::move(c)), workers_(std::move(workers)), s_(s) {
@@ -24,48 +36,58 @@ std::optional<Vector> Alg1Code::decode(const std::vector<bool>& received,
   if (empty()) return std::nullopt;
   HGC_REQUIRE(received.size() >= total_workers, "received flags too short");
 
+  thread_local Alg1DecodeWorkspace ws;
+
   // Local straggler set: this code's workers whose results are missing.
-  std::vector<std::size_t> missing_cols;
+  std::vector<std::size_t>& missing_cols = ws.missing;
+  missing_cols.clear();
   for (std::size_t j = 0; j < workers_.size(); ++j) {
     HGC_REQUIRE(workers_[j] < total_workers, "worker id out of range");
     if (!received[workers_[j]]) missing_cols.push_back(j);
   }
   if (missing_cols.size() > s_) return std::nullopt;
 
-  // Find λ ∈ R^{s+1}, λ·C_S = 0, Σλ ≠ 0 (Lemma 2's decoding argument).
-  Vector lambda;
-  double lambda_sum = 0.0;
+  Vector coefficients(total_workers, 0.0);
   if (missing_cols.empty()) {
-    // No stragglers: any row combination works; take the first row (λ = e₁).
-    lambda.assign(s_ + 1, 0.0);
-    lambda[0] = 1.0;
-    lambda_sum = 1.0;
-  } else {
-    const Matrix c_s = c_.select_cols(missing_cols);
-    const Matrix basis = null_space_basis(c_s.transposed());
-    if (basis.cols() == 0) return std::nullopt;  // numerically degenerate C
-    // Property (P2) guarantees some null vector with nonzero coordinate sum;
-    // with a multi-dimensional null space individual basis vectors may still
-    // sum to ~0, so scan for the best-conditioned one.
-    std::size_t best = basis.cols();
-    for (std::size_t col = 0; col < basis.cols(); ++col) {
-      double sum = 0.0;
-      for (std::size_t r = 0; r <= s_; ++r) sum += basis(r, col);
-      if (std::abs(sum) > std::abs(lambda_sum)) {
-        lambda_sum = sum;
-        best = col;
-      }
-    }
-    if (best == basis.cols() || std::abs(lambda_sum) < kSumTolerance)
-      return std::nullopt;  // (P2) violated — probability-zero event
-    lambda = basis.col(best);
+    // No stragglers: any row combination works; take the first row (λ = e₁,
+    // Σλ = 1), so a = first row of C.
+    for (std::size_t j = 0; j < workers_.size(); ++j)
+      coefficients[workers_[j]] = c_(0, j);
+    return coefficients;
   }
 
-  // a = λ·C / Σλ, scattered to global worker slots.
-  Vector coefficients(total_workers, 0.0);
+  // Find λ ∈ R^{s+1}, λ·C_S = 0, Σλ ≠ 0 (Lemma 2's decoding argument).
+  // Pack C_Sᵀ straight from C (entry (i, r) = C(r, missing[i])) and take
+  // its null space through the reused scratch.
+  ws.cst.reshape(missing_cols.size(), s_ + 1);
+  for (std::size_t i = 0; i < missing_cols.size(); ++i)
+    for (std::size_t r = 0; r <= s_; ++r)
+      ws.cst(i, r) = c_(r, missing_cols[i]);
+  null_space_basis_into(ws.cst, ws.rref, ws.pivots, ws.basis);
+  const Matrix& basis = ws.basis;
+  if (basis.cols() == 0) return std::nullopt;  // numerically degenerate C
+
+  // Property (P2) guarantees some null vector with nonzero coordinate sum;
+  // with a multi-dimensional null space individual basis vectors may still
+  // sum to ~0, so scan for the best-conditioned one.
+  double lambda_sum = 0.0;
+  std::size_t best = basis.cols();
+  for (std::size_t col = 0; col < basis.cols(); ++col) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r <= s_; ++r) sum += basis(r, col);
+    if (std::abs(sum) > std::abs(lambda_sum)) {
+      lambda_sum = sum;
+      best = col;
+    }
+  }
+  if (best == basis.cols() || std::abs(lambda_sum) < kSumTolerance)
+    return std::nullopt;  // (P2) violated — probability-zero event
+
+  // a = λ·C / Σλ, scattered to global worker slots (λ read in place from
+  // the basis column — no copy).
   for (std::size_t j = 0; j < workers_.size(); ++j) {
     double value = 0.0;
-    for (std::size_t r = 0; r <= s_; ++r) value += lambda[r] * c_(r, j);
+    for (std::size_t r = 0; r <= s_; ++r) value += basis(r, best) * c_(r, j);
     coefficients[workers_[j]] = value / lambda_sum;
   }
   // Entries on missing workers are λ·C_S/Σλ = 0 by construction; zero them
@@ -101,14 +123,21 @@ Alg1Build build_alg1(const Assignment& assignment, std::size_t k,
     for (PartitionId p : assignment[w]) holders[p].push_back(w);
 
   Matrix b(m, k);
+  // One LU workspace serves all k per-partition solves: C_p is
+  // (s+1)×(s+1) for every partition, so after partition 0 the factor and
+  // solution buffers are warm and the loop allocates nothing.
+  LuWorkspace lu;
+  Vector d;
+  std::vector<std::size_t> cols;
+  const Vector ones(s + 1, 1.0);
   for (PartitionId p = 0; p < k; ++p) {
-    std::vector<std::size_t> cols(holders[p].size());
+    cols.resize(holders[p].size());
     for (std::size_t i = 0; i < holders[p].size(); ++i)
       cols[i] = col_of[holders[p][i]];
-    const Matrix c_p = c.select_cols(cols);
-    const Vector ones(s + 1, 1.0);
-    // C_p is (s+1)×(s+1) and nonsingular w.p. 1 (property P1, Lemma 3).
-    const Vector d = lu_solve(c_p, ones);
+    // C_p is (s+1)×(s+1) and nonsingular w.p. 1 (property P1, Lemma 3);
+    // solve_into's singularity assert covers the probability-zero event.
+    lu.factor_cols(c, cols);
+    lu.solve_into(ones, d);
     for (std::size_t i = 0; i < holders[p].size(); ++i)
       b(holders[p][i], p) = d[i];
   }

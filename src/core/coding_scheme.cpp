@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "linalg/qr.hpp"
+#include "linalg/kernels.hpp"
 #include "util/error.hpp"
 
 namespace hgc {
@@ -33,22 +33,33 @@ CodingScheme::CodingScheme(Matrix b, Assignment assignment, std::size_t s)
 
 std::optional<Vector> CodingScheme::generic_decode(
     const std::vector<bool>& received) const {
+  // One workspace per thread: the sweep runtime's worker threads each warm
+  // up their own buffers once and then solve allocation-free. Results never
+  // depend on workspace history, so this cannot perturb determinism.
+  thread_local SolveWorkspace ws;
+  return generic_decode(received, ws);
+}
+
+std::optional<Vector> CodingScheme::generic_decode(
+    const std::vector<bool>& received, SolveWorkspace& ws) const {
   HGC_REQUIRE(received.size() == num_workers(),
               "received flags must have one entry per worker");
-  std::vector<std::size_t> rows;
+  std::vector<std::size_t>& rows = ws.indices;
+  rows.clear();
   for (std::size_t w = 0; w < received.size(); ++w)
     if (received[w]) rows.push_back(w);
   if (rows.empty()) return std::nullopt;
 
-  // Solve B_Rᵀ·x = 1 (k equations, |R| unknowns).
-  const Matrix brt = coding_matrix_.select_rows(rows).transposed();
-  const Vector ones(num_partitions(), 1.0);
-  LeastSquaresResult ls = least_squares(brt, ones);
-  if (ls.residual > kDecodeResidualTolerance) return std::nullopt;
+  // Solve B_Rᵀ·x = 1 (k equations, |R| unknowns) straight against the
+  // selected rows of B — no select_rows/transposed temporaries.
+  ws.qr.factor_transposed(RowSelectView(coding_matrix_, rows));
+  ws.rhs.assign(num_partitions(), 1.0);
+  const double residual = ws.qr.solve_into(ws.rhs, ws.x);
+  if (residual > kDecodeResidualTolerance) return std::nullopt;
 
   Vector coefficients(num_workers(), 0.0);
   for (std::size_t i = 0; i < rows.size(); ++i)
-    coefficients[rows[i]] = ls.x[i];
+    coefficients[rows[i]] = ws.x[i];
   return coefficients;
 }
 
@@ -65,7 +76,7 @@ Vector encode_gradient(const CodingScheme& scheme, WorkerId worker,
   for (PartitionId p : mine) {
     const Vector& g = partition_gradients[p];
     HGC_REQUIRE(g.size() == dim, "partition gradients must share a dimension");
-    axpy(scheme.coding_matrix()(worker, p), g, coded);
+    kernels::axpy(scheme.coding_matrix()(worker, p), g, coded);
   }
   return coded;
 }
@@ -86,7 +97,7 @@ Vector combine_coded_gradients(std::span<const double> coefficients,
     HGC_REQUIRE(!coded[w].empty(),
                 "nonzero coefficient for a worker that sent no result");
     HGC_REQUIRE(coded[w].size() == dim, "coded gradients must share a size");
-    axpy(coefficients[w], coded[w], aggregate);
+    kernels::axpy(coefficients[w], coded[w], aggregate);
   }
   return aggregate;
 }

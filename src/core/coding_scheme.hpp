@@ -13,6 +13,7 @@
 
 #include "core/types.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/workspace.hpp"
 
 namespace hgc {
 
@@ -60,9 +61,16 @@ class CodingScheme {
   CodingScheme(Matrix b, Assignment assignment, std::size_t s);
 
   /// Generic decodability fallback: least-squares solve of B_Rᵀ·x = 1 with a
-  /// residual test. Works for any B; O(k·|R|²).
+  /// residual test. Works for any B; O(k·|R|²). Scratch (the row selection,
+  /// the packed B_Rᵀ, QR factors, rhs) lives in a per-thread workspace, so
+  /// repeated calls allocate nothing but the returned coefficient vector.
   std::optional<Vector> generic_decode(const std::vector<bool>& received)
       const;
+
+  /// Same, against a caller-owned workspace (e.g. one reused across a whole
+  /// robustness enumeration). Never share a workspace between threads.
+  std::optional<Vector> generic_decode(const std::vector<bool>& received,
+                                       SolveWorkspace& ws) const;
 
  private:
   Matrix coding_matrix_;

@@ -16,9 +16,16 @@ std::vector<DecodingRow> build_decoding_matrix(const CodingScheme& scheme) {
     for (std::size_t w = 0; w < m; ++w)
       if (scheme.load(w) == 0) received[w] = false;
     auto coefficients = scheme.decoding_coefficients(received);
-    if (!coefficients)
+    if (!coefficients) {
+      // s = 0 enumerates one empty pattern; naming "the worker starting the
+      // pattern" would print m, which is not a worker id.
+      if (pattern.empty())
+        throw DecodeError(
+            "scheme cannot decode even with every data-holding worker "
+            "present (empty straggler pattern)");
       throw DecodeError("scheme is not robust to pattern starting at worker " +
-                        std::to_string(pattern.empty() ? m : pattern.front()));
+                        std::to_string(pattern.front()));
+    }
     rows.push_back({pattern, std::move(*coefficients)});
     return true;
   });

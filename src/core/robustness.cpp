@@ -1,63 +1,53 @@
 #include "core/robustness.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <numeric>
 
-#include "linalg/qr.hpp"
 #include "util/error.hpp"
 
 namespace hgc {
 
 bool ones_in_row_span(const Matrix& b, std::span<const std::size_t> rows,
                       double tolerance) {
-  if (rows.empty()) return false;
-  const Matrix brt = b.select_rows(rows).transposed();
-  const Vector ones(b.cols(), 1.0);
-  return least_squares(brt, ones).residual <= tolerance;
+  thread_local SolveWorkspace ws;
+  return ones_in_row_span(b, rows, tolerance, ws);
 }
 
-bool satisfies_condition1(const Matrix& b, std::size_t s, double tolerance) {
+bool ones_in_row_span(const Matrix& b, std::span<const std::size_t> rows,
+                      double tolerance, SolveWorkspace& ws) {
+  if (rows.empty()) return false;
+  // Least-squares B_Rᵀ·x = 1 with a residual test, solved straight against
+  // the selected rows (no select_rows/transposed temporaries).
+  ws.qr.factor_transposed(RowSelectView(b, rows));
+  ws.rhs.assign(b.cols(), 1.0);
+  return ws.qr.solve_into(ws.rhs, ws.x) <= tolerance;
+}
+
+bool satisfies_condition1(const Matrix& b, std::size_t s, double tolerance,
+                          SolveWorkspace* ws) {
   const std::size_t m = b.rows();
   HGC_REQUIRE(s < m, "condition 1 needs s < m");
+  thread_local SolveWorkspace shared;
+  SolveWorkspace& w = ws ? *ws : shared;
   // Equivalent formulation: for every straggler pattern of exactly s
-  // workers, the surviving rows span the ones vector.
-  return for_each_straggler_pattern(m, s, [&](const StragglerSet& stragglers) {
-    std::vector<std::size_t> survivors;
-    survivors.reserve(m - s);
-    std::size_t next = 0;
-    for (std::size_t w = 0; w < m; ++w) {
-      if (next < stragglers.size() && stragglers[next] == w)
-        ++next;
-      else
-        survivors.push_back(w);
-    }
-    return ones_in_row_span(b, survivors, tolerance);
-  });
-}
-
-bool for_each_straggler_pattern(
-    std::size_t m, std::size_t s,
-    const std::function<bool(const StragglerSet&)>& visit) {
-  HGC_REQUIRE(s <= m, "cannot choose more stragglers than workers");
-  StragglerSet pattern(s);
-  // Lexicographic enumeration of all C(m, s) subsets.
-  std::iota(pattern.begin(), pattern.end(), 0);
-  if (s == 0) return visit(pattern);
-  while (true) {
-    if (!visit(pattern)) return false;
-    // Advance to the next combination.
-    std::size_t i = s;
-    while (i-- > 0) {
-      if (pattern[i] != i + m - s) {
-        ++pattern[i];
-        for (std::size_t j = i + 1; j < s; ++j)
-          pattern[j] = pattern[j - 1] + 1;
-        break;
-      }
-      if (i == 0) return true;  // wrapped: enumeration complete
-    }
-  }
+  // workers, the surviving rows span the ones vector. One workspace serves
+  // the whole C(m, s) enumeration: indices holds the survivors, indices2
+  // backs the pattern buffer, and the QR factors are re-packed per pattern.
+  std::vector<std::size_t>& survivors = w.indices;
+  return for_each_straggler_pattern(
+      m, s,
+      [&](const StragglerSet& stragglers) {
+        survivors.clear();
+        std::size_t next = 0;
+        for (std::size_t worker = 0; worker < m; ++worker) {
+          if (next < stragglers.size() && stragglers[next] == worker)
+            ++next;
+          else
+            survivors.push_back(worker);
+        }
+        return ones_in_row_span(b, survivors, tolerance, w);
+      },
+      w.indices2);
 }
 
 std::optional<double> completion_time(const CodingScheme& scheme,

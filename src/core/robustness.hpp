@@ -4,13 +4,15 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <numeric>
 #include <optional>
+#include <utility>
 
 #include "core/coding_scheme.hpp"
 #include "core/decoding_cache.hpp"
 #include "core/types.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/workspace.hpp"
 
 namespace hgc {
 
@@ -18,18 +20,56 @@ namespace hgc {
 bool ones_in_row_span(const Matrix& b, std::span<const std::size_t> rows,
                       double tolerance = 1e-8);
 
+/// Workspace-threaded variant: the packed B_Rᵀ, QR factors and rhs all live
+/// in `ws`, so a whole enumeration of row subsets solves allocation-free.
+bool ones_in_row_span(const Matrix& b, std::span<const std::size_t> rows,
+                      double tolerance, SolveWorkspace& ws);
+
 /// Brute-force Condition 1: every (m−s)-subset of rows spans the all-ones
 /// vector. Exponential in m — intended for test-sized instances; callers
-/// should keep C(m, s) under ~10⁶.
+/// should keep C(m, s) under ~10⁶. One workspace (caller's `ws`, or a
+/// per-thread default) is reused across the entire pattern enumeration;
+/// after one warm-up call per shape the check performs zero heap
+/// allocations (pinned by test_kernels' instrumented allocator).
 bool satisfies_condition1(const Matrix& b, std::size_t s,
-                          double tolerance = 1e-8);
+                          double tolerance = 1e-8,
+                          SolveWorkspace* ws = nullptr);
 
 /// Visit every straggler pattern with exactly `s` stragglers; the callback
-/// receives the sorted straggler set. Returns false if the callback ever
-/// returned false (early exit), true otherwise.
-bool for_each_straggler_pattern(
-    std::size_t m, std::size_t s,
-    const std::function<bool(const StragglerSet&)>& visit);
+/// receives the sorted straggler set (the caller-provided scratch buffer,
+/// reused between patterns). Returns false if the callback ever returned
+/// false (early exit), true otherwise.
+template <typename Visit>
+bool for_each_straggler_pattern(std::size_t m, std::size_t s, Visit&& visit,
+                                StragglerSet& pattern) {
+  HGC_REQUIRE(s <= m, "cannot choose more stragglers than workers");
+  pattern.resize(s);
+  // Lexicographic enumeration of all C(m, s) subsets.
+  std::iota(pattern.begin(), pattern.end(), 0);
+  if (s == 0) return static_cast<bool>(visit(std::as_const(pattern)));
+  while (true) {
+    if (!visit(std::as_const(pattern))) return false;
+    // Advance to the next combination.
+    std::size_t i = s;
+    while (i-- > 0) {
+      if (pattern[i] != i + m - s) {
+        ++pattern[i];
+        for (std::size_t j = i + 1; j < s; ++j)
+          pattern[j] = pattern[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return true;  // wrapped: enumeration complete
+    }
+  }
+}
+
+/// Convenience overload owning its pattern buffer (one allocation).
+template <typename Visit>
+bool for_each_straggler_pattern(std::size_t m, std::size_t s, Visit&& visit) {
+  StragglerSet pattern;
+  return for_each_straggler_pattern(m, s, std::forward<Visit>(visit),
+                                    pattern);
+}
 
 /// Completion time of the whole task for a given straggler pattern
 /// (Section III-C): the master takes results in the order of worker finish

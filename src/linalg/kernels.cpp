@@ -1,0 +1,99 @@
+#include "linalg/kernels.hpp"
+
+namespace hgc::kernels {
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  const std::size_t n = a.size();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  // Four independent lanes break the add dependency chain; the combine
+  // order (l0+l1)+(l2+l3) is part of the determinism contract in the
+  // header — do not "simplify" it to a left fold.
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += pa[i] * pb[i];
+    l1 += pa[i + 1] * pb[i + 1];
+    l2 += pa[i + 2] * pb[i + 2];
+    l3 += pa[i + 3] * pb[i + 3];
+  }
+  double acc = (l0 + l1) + (l2 + l3);
+  for (; i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x,
+          std::span<double> y) noexcept {
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  double* py = y.data();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    py[i] += alpha * px[i];
+    py[i + 1] += alpha * px[i + 1];
+    py[i + 2] += alpha * px[i + 2];
+    py[i + 3] += alpha * px[i + 3];
+  }
+  for (; i < n; ++i) py[i] += alpha * px[i];
+}
+
+void scal(double alpha, std::span<double> x) noexcept {
+  const std::size_t n = x.size();
+  double* px = x.data();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    px[i] *= alpha;
+    px[i + 1] *= alpha;
+    px[i + 2] *= alpha;
+    px[i + 3] *= alpha;
+  }
+  for (; i < n; ++i) px[i] *= alpha;
+}
+
+void gemv(const double* a, std::size_t lda, std::size_t rows,
+          std::size_t cols, std::span<const double> x,
+          std::span<double> y) noexcept {
+  for (std::size_t r = 0; r < rows; ++r)
+    y[r] = dot({a + r * lda, cols}, x);
+}
+
+void gemv_t(const double* a, std::size_t lda, std::size_t rows,
+            std::size_t cols, std::span<const double> x,
+            std::span<double> y) noexcept {
+  double* py = y.data();
+  for (std::size_t c = 0; c < cols; ++c) py[c] = 0.0;
+  for (std::size_t r = 0; r < rows; ++r)
+    axpy(x[r], {a + r * lda, cols}, {py, cols});
+}
+
+void rank1_update(double* a, std::size_t lda, std::size_t rows,
+                  std::size_t cols, double alpha, std::span<const double> x,
+                  std::span<const double> y) noexcept {
+  const double* py = y.data();
+  std::size_t r = 0;
+  // Four-row blocks: y is read once per block instead of once per row.
+  for (; r + 4 <= rows; r += 4) {
+    double* a0 = a + r * lda;
+    double* a1 = a0 + lda;
+    double* a2 = a1 + lda;
+    double* a3 = a2 + lda;
+    const double s0 = alpha * x[r];
+    const double s1 = alpha * x[r + 1];
+    const double s2 = alpha * x[r + 2];
+    const double s3 = alpha * x[r + 3];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = py[c];
+      a0[c] += s0 * v;
+      a1[c] += s1 * v;
+      a2[c] += s2 * v;
+      a3[c] += s3 * v;
+    }
+  }
+  for (; r < rows; ++r) {
+    double* ar = a + r * lda;
+    const double s = alpha * x[r];
+    for (std::size_t c = 0; c < cols; ++c) ar[c] += s * py[c];
+  }
+}
+
+}  // namespace hgc::kernels

@@ -1,0 +1,59 @@
+// Allocation-free dense kernels under every solve in the decode hot path.
+//
+// These are the named inner loops of the library: axpy/dot/scal/gemv plus a
+// row-blocked rank-1 update. All of them operate on caller-provided storage
+// (spans or raw row-major blocks with a leading dimension), never allocate,
+// and are the single place a future SIMD port has to touch.
+//
+// Determinism contract (the sweep's byte-identical-output guarantee relies
+// on this): every kernel uses a FIXED, data-independent summation order.
+//   * dot() accumulates four interleaved lanes — lane l sums elements
+//     l, l+4, l+8, … in ascending index order — and combines them as
+//     (lane0 + lane1) + (lane2 + lane3), then adds the scalar tail in
+//     ascending order. The order depends only on the span length, never on
+//     alignment, thread count, or call history.
+//   * gemv() reduces each output element with dot(), so it inherits that
+//     order; gemv_t() and rank1_update() have no reductions — each output
+//     element is updated by one in-order pass over the rows.
+// Results are therefore bit-identical for identical inputs across runs,
+// thread counts, and call sites. Changing any loop here changes numeric
+// results globally; re-baseline the figure outputs if you do.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace hgc::kernels {
+
+/// Σ a[i]·b[i] with the four-lane order documented above. Lengths must match
+/// (checked by the hgc::dot wrapper; this layer trusts its caller).
+double dot(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// y ← y + alpha·x (elementwise; no reduction, order-insensitive).
+void axpy(double alpha, std::span<const double> x,
+          std::span<double> y) noexcept;
+
+/// x ← alpha·x.
+void scal(double alpha, std::span<double> x) noexcept;
+
+/// y ← A·x for a row-major block: y[r] = dot(A[r,0..cols), x).
+/// `a` points at the first element, rows are `lda` doubles apart (lda ≥
+/// cols, so sub-blocks of a larger matrix work).
+void gemv(const double* a, std::size_t lda, std::size_t rows,
+          std::size_t cols, std::span<const double> x,
+          std::span<double> y) noexcept;
+
+/// y ← Aᵀ·x, accumulated row-wise: y is zeroed, then row r contributes
+/// x[r]·A[r,·] via axpy, r ascending — each y[c] sums in row order.
+void gemv_t(const double* a, std::size_t lda, std::size_t rows,
+            std::size_t cols, std::span<const double> x,
+            std::span<double> y) noexcept;
+
+/// A ← A + alpha·x·yᵀ, blocked four rows at a time so y streams through
+/// cache once per block. Per-element arithmetic is a single fused update,
+/// so the row blocking cannot change results.
+void rank1_update(double* a, std::size_t lda, std::size_t rows,
+                  std::size_t cols, double alpha, std::span<const double> x,
+                  std::span<const double> y) noexcept;
+
+}  // namespace hgc::kernels

@@ -2,66 +2,82 @@
 
 #include <cmath>
 
+#include "linalg/kernels.hpp"
+
 namespace hgc {
 namespace {
 constexpr double kPivotTolerance = 1e-12;
 }
 
-LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
-  HGC_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
-  const std::size_t n = lu_.rows();
-  perm_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+namespace linalg_detail {
+
+bool lu_factor_inplace(Matrix& lu, std::vector<std::size_t>& perm,
+                       int& sign) {
+  const std::size_t n = lu.rows();
+  perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  sign = 1;
+  bool singular = false;
 
   for (std::size_t col = 0; col < n; ++col) {
     // Partial pivoting: bring the largest remaining |entry| to the diagonal.
     std::size_t pivot = col;
-    double best = std::abs(lu_(col, col));
+    double best = std::abs(lu(col, col));
     for (std::size_t r = col + 1; r < n; ++r) {
-      const double cand = std::abs(lu_(r, col));
+      const double cand = std::abs(lu(r, col));
       if (cand > best) {
         best = cand;
         pivot = r;
       }
     }
     if (best < kPivotTolerance) {
-      singular_ = true;
+      singular = true;
       continue;
     }
     if (pivot != col) {
       for (std::size_t c = 0; c < n; ++c)
-        std::swap(lu_(pivot, c), lu_(col, c));
-      std::swap(perm_[pivot], perm_[col]);
-      sign_ = -sign_;
+        std::swap(lu(pivot, c), lu(col, c));
+      std::swap(perm[pivot], perm[col]);
+      sign = -sign;
     }
-    const double inv_diag = 1.0 / lu_(col, col);
+    const double inv_diag = 1.0 / lu(col, col);
+    const auto pivot_tail = lu.row(col).subspan(col + 1);
     for (std::size_t r = col + 1; r < n; ++r) {
-      const double factor = lu_(r, col) * inv_diag;
-      lu_(r, col) = factor;
+      const double factor = lu(r, col) * inv_diag;
+      lu(r, col) = factor;
       if (factor == 0.0) continue;
-      for (std::size_t c = col + 1; c < n; ++c)
-        lu_(r, c) -= factor * lu_(col, c);
+      kernels::axpy(-factor, pivot_tail, lu.row(r).subspan(col + 1));
     }
   }
+  return !singular;
+}
+
+void lu_solve_inplace(const Matrix& lu, const std::vector<std::size_t>& perm,
+                      std::span<const double> b, std::span<double> x) {
+  const std::size_t n = lu.rows();
+  // Forward substitution with the permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = b[perm[i]] - kernels::dot(lu.row(i).first(i), x.first(i));
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double acc =
+        x[ii] - kernels::dot(lu.row(ii).subspan(ii + 1), x.subspan(ii + 1));
+    x[ii] = acc / lu(ii, ii);
+  }
+}
+
+}  // namespace linalg_detail
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  HGC_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  singular_ = !linalg_detail::lu_factor_inplace(lu_, perm_, sign_);
 }
 
 Vector LuDecomposition::solve(std::span<const double> b) const {
   HGC_REQUIRE(b.size() == lu_.rows(), "rhs length mismatch");
   HGC_ASSERT(!singular_, "solve() on a singular matrix");
-  const std::size_t n = lu_.rows();
-  Vector x(n);
-  // Forward substitution with the permuted rhs (L has unit diagonal).
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = b[perm_[i]];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
-    x[i] = acc;
-  }
-  // Back substitution.
-  for (std::size_t ii = n; ii-- > 0;) {
-    double acc = x[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
-    x[ii] = acc / lu_(ii, ii);
-  }
+  Vector x(lu_.rows());
+  linalg_detail::lu_solve_inplace(lu_, perm_, b, x);
   return x;
 }
 

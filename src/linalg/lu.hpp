@@ -39,4 +39,17 @@ class LuDecomposition {
 /// Convenience wrapper: solve a single system without keeping the factors.
 Vector lu_solve(Matrix a, std::span<const double> b);
 
+namespace linalg_detail {
+
+/// In-place PA = LU core shared by LuDecomposition and LuWorkspace: factors
+/// `lu` destructively (packed L below, U on/above the diagonal), fills the
+/// row permutation and its sign. Returns false when a pivot underflowed the
+/// singularity threshold. Allocation-free once perm has capacity.
+bool lu_factor_inplace(Matrix& lu, std::vector<std::size_t>& perm, int& sign);
+
+/// Forward/back substitution against packed factors; x must have length n.
+void lu_solve_inplace(const Matrix& lu, const std::vector<std::size_t>& perm,
+                      std::span<const double> b, std::span<double> x);
+
+}  // namespace linalg_detail
 }  // namespace hgc

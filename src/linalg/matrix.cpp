@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <ostream>
 
+#include "linalg/kernels.hpp"
+
 namespace hgc {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -116,15 +118,15 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
 
 Vector Matrix::apply(std::span<const double> x) const {
   HGC_REQUIRE(x.size() == cols_, "vector length must equal matrix cols");
-  Vector out(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) out[r] = dot(row(r), x);
+  Vector out(rows_);
+  kernels::gemv(data_.data(), cols_, rows_, cols_, x, out);
   return out;
 }
 
 Vector Matrix::apply_transpose(std::span<const double> x) const {
   HGC_REQUIRE(x.size() == rows_, "vector length must equal matrix rows");
-  Vector out(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) axpy(x[r], row(r), out);
+  Vector out(cols_);
+  kernels::gemv_t(data_.data(), cols_, rows_, cols_, x, out);
   return out;
 }
 
@@ -153,23 +155,21 @@ std::ostream& operator<<(std::ostream& os, const Matrix& m) {
   return os;
 }
 
+// The checked public helpers forward to the unrolled kernels layer, so the
+// whole library (ML substrate included) shares one set of inner loops.
 double dot(std::span<const double> a, std::span<const double> b) {
   HGC_REQUIRE(a.size() == b.size(), "dot length mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::dot(a, b);
 }
 
 double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   HGC_REQUIRE(x.size() == y.size(), "axpy length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::axpy(alpha, x, y);
 }
 
-void scale(double alpha, std::span<double> x) {
-  for (double& v : x) v *= alpha;
-}
+void scale(double alpha, std::span<double> x) { kernels::scal(alpha, x); }
 
 Vector add(std::span<const double> a, std::span<const double> b) {
   HGC_REQUIRE(a.size() == b.size(), "add length mismatch");

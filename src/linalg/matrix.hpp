@@ -37,6 +37,16 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
+  /// Re-dimension to rows×cols, reusing the existing heap buffer whenever
+  /// its capacity allows (the workspace layer's no-allocation-after-warm-up
+  /// guarantee depends on this). Contents are unspecified afterwards —
+  /// callers are expected to overwrite every entry.
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   double& operator()(std::size_t r, std::size_t c) {
     HGC_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
     return data_[r * cols_ + c];
@@ -87,6 +97,7 @@ class Matrix {
   friend std::ostream& operator<<(std::ostream& os, const Matrix& m);
 
   std::span<const double> data() const { return data_; }
+  std::span<double> data() { return data_; }
 
  private:
   std::size_t rows_ = 0;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
+
 namespace hgc {
 
-std::vector<std::size_t> reduce_to_rref(Matrix& a, double tolerance) {
-  std::vector<std::size_t> pivots;
+void reduce_to_rref(Matrix& a, std::vector<std::size_t>& pivots,
+                    double tolerance) {
+  pivots.clear();
   const std::size_t rows = a.rows();
   const std::size_t cols = a.cols();
   std::size_t pivot_row = 0;
@@ -22,53 +25,65 @@ std::vector<std::size_t> reduce_to_rref(Matrix& a, double tolerance) {
       }
     }
     if (best <= tolerance) continue;  // free column
-    if (best_row != pivot_row)
-      for (std::size_t c = 0; c < cols; ++c)
-        std::swap(a(best_row, c), a(pivot_row, c));
+    if (best_row != pivot_row) {
+      const auto from = a.row(best_row);
+      const auto to = a.row(pivot_row);
+      std::swap_ranges(from.begin(), from.end(), to.begin());
+    }
 
     const double inv = 1.0 / a(pivot_row, col);
-    for (std::size_t c = 0; c < cols; ++c) a(pivot_row, c) *= inv;
+    kernels::scal(inv, a.row(pivot_row));
     a(pivot_row, col) = 1.0;  // kill roundoff on the pivot itself
 
     for (std::size_t r = 0; r < rows; ++r) {
       if (r == pivot_row) continue;
       const double factor = a(r, col);
       if (factor == 0.0) continue;
-      for (std::size_t c = 0; c < cols; ++c)
-        a(r, c) -= factor * a(pivot_row, c);
+      kernels::axpy(-factor, a.row(pivot_row), a.row(r));
       a(r, col) = 0.0;
     }
     pivots.push_back(col);
     ++pivot_row;
   }
+}
+
+std::vector<std::size_t> reduce_to_rref(Matrix& a, double tolerance) {
+  std::vector<std::size_t> pivots;
+  reduce_to_rref(a, pivots, tolerance);
   return pivots;
 }
 
-Matrix null_space_basis(const Matrix& a, double tolerance) {
+void null_space_basis_into(const Matrix& a, Matrix& rref,
+                           std::vector<std::size_t>& pivots, Matrix& basis,
+                           double tolerance) {
   HGC_REQUIRE(!a.empty(), "null space of an empty matrix");
-  Matrix rref = a;
-  const std::vector<std::size_t> pivots = reduce_to_rref(rref, tolerance);
+  rref.reshape(a.rows(), a.cols());
+  std::copy(a.data().begin(), a.data().end(), rref.data().begin());
+  reduce_to_rref(rref, pivots, tolerance);
   const std::size_t cols = a.cols();
 
-  std::vector<std::size_t> free_cols;
-  {
-    std::size_t next_pivot = 0;
-    for (std::size_t c = 0; c < cols; ++c) {
-      if (next_pivot < pivots.size() && pivots[next_pivot] == c)
-        ++next_pivot;
-      else
-        free_cols.push_back(c);
+  basis.reshape(cols, cols - pivots.size());
+  std::fill(basis.data().begin(), basis.data().end(), 0.0);
+  // Walk the columns once: pivot columns are skipped, each free column
+  // becomes one basis vector with its pivot variables read off the RREF.
+  std::size_t next_pivot = 0;
+  std::size_t fi = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (next_pivot < pivots.size() && pivots[next_pivot] == c) {
+      ++next_pivot;
+      continue;
     }
-  }
-
-  Matrix basis(cols, free_cols.size());
-  for (std::size_t fi = 0; fi < free_cols.size(); ++fi) {
-    const std::size_t free_col = free_cols[fi];
-    basis(free_col, fi) = 1.0;
-    // Pivot variables read off the RREF: x_pivot = -rref(row, free_col).
+    basis(c, fi) = 1.0;
     for (std::size_t pi = 0; pi < pivots.size(); ++pi)
-      basis(pivots[pi], fi) = -rref(pi, free_col);
+      basis(pivots[pi], fi) = -rref(pi, c);
+    ++fi;
   }
+}
+
+Matrix null_space_basis(const Matrix& a, double tolerance) {
+  Matrix rref, basis;
+  std::vector<std::size_t> pivots;
+  null_space_basis_into(a, rref, pivots, basis, tolerance);
   return basis;
 }
 

@@ -21,4 +21,18 @@ Vector null_space_vector(const Matrix& a, double tolerance = 1e-10);
 /// Reduced row-echelon form (in place); returns the pivot column indices.
 std::vector<std::size_t> reduce_to_rref(Matrix& a, double tolerance = 1e-10);
 
+/// Allocation-free variant: pivot columns land in `pivots` (cleared first,
+/// reused capacity).
+void reduce_to_rref(Matrix& a, std::vector<std::size_t>& pivots,
+                    double tolerance = 1e-10);
+
+/// Allocation-free null_space_basis over caller-owned scratch: `rref` is
+/// overwritten with the RREF of `a`, `pivots` with its pivot columns, and
+/// `basis` is reshaped to a.cols()×nullity. No heap traffic once the
+/// scratch buffers have warmed up to the shape. Used by the Alg. 1 decode
+/// hot path with one workspace per thread.
+void null_space_basis_into(const Matrix& a, Matrix& rref,
+                           std::vector<std::size_t>& pivots, Matrix& basis,
+                           double tolerance = 1e-10);
+
 }  // namespace hgc

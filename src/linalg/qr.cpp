@@ -3,113 +3,147 @@
 #include <algorithm>
 #include <cmath>
 
-namespace hgc {
+#include "linalg/kernels.hpp"
 
-ColumnPivotedQr::ColumnPivotedQr(Matrix a, double tolerance)
-    : qr_(std::move(a)) {
-  const std::size_t m = qr_.rows();
-  const std::size_t n = qr_.cols();
+namespace hgc {
+namespace linalg_detail {
+
+std::size_t qr_factor_inplace(Matrix& qr, Vector& beta,
+                              std::vector<std::size_t>& perm,
+                              Vector& col_norms, Vector& update,
+                              double tolerance) {
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
   HGC_REQUIRE(m > 0 && n > 0, "QR of an empty matrix");
   const std::size_t steps = std::min(m, n);
-  beta_.assign(steps, 0.0);
-  perm_.resize(n);
-  for (std::size_t j = 0; j < n; ++j) perm_[j] = j;
+  beta.assign(steps, 0.0);
+  perm.resize(n);
+  for (std::size_t j = 0; j < n; ++j) perm[j] = j;
 
   // Squared norms of the trailing part of each column, downdated per step.
-  Vector col_norms(n, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < m; ++i) acc += qr_(i, j) * qr_(i, j);
-    col_norms[j] = acc;
+  col_norms.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = qr.row(i);
+    for (std::size_t j = 0; j < n; ++j) col_norms[j] += row[j] * row[j];
   }
-  const double scale_ref = std::sqrt(
-      *std::max_element(col_norms.begin(), col_norms.end()));
+  const double scale_ref =
+      std::sqrt(*std::max_element(col_norms.begin(), col_norms.end()));
   const double threshold = tolerance * std::max(1.0, scale_ref);
 
+  update.resize(n);
   for (std::size_t step = 0; step < steps; ++step) {
     // Greedy pivot: column with the largest remaining norm.
     std::size_t pivot = step;
     for (std::size_t j = step + 1; j < n; ++j)
       if (col_norms[j] > col_norms[pivot]) pivot = j;
     if (pivot != step) {
-      for (std::size_t i = 0; i < m; ++i) std::swap(qr_(i, pivot), qr_(i, step));
+      for (std::size_t i = 0; i < m; ++i)
+        std::swap(qr(i, pivot), qr(i, step));
       std::swap(col_norms[pivot], col_norms[step]);
-      std::swap(perm_[pivot], perm_[step]);
+      std::swap(perm[pivot], perm[step]);
     }
 
     // Householder reflector for rows step..m-1 of column step.
     double norm_x = 0.0;
-    for (std::size_t i = step; i < m; ++i) norm_x += qr_(i, step) * qr_(i, step);
+    for (std::size_t i = step; i < m; ++i)
+      norm_x += qr(i, step) * qr(i, step);
     norm_x = std::sqrt(norm_x);
     if (norm_x < threshold) {
-      beta_[step] = 0.0;  // column (and all that follow) numerically zero
+      beta[step] = 0.0;  // column (and all that follow) numerically zero
       continue;
     }
-    const double alpha = qr_(step, step) >= 0.0 ? -norm_x : norm_x;
-    const double v0 = qr_(step, step) - alpha;
+    const double alpha = qr(step, step) >= 0.0 ? -norm_x : norm_x;
+    const double v0 = qr(step, step) - alpha;
     // v = x - alpha*e1, normalized so v[0] = 1; stored below the diagonal.
-    for (std::size_t i = step + 1; i < m; ++i) qr_(i, step) /= v0;
-    beta_[step] = -v0 / alpha;
-    qr_(step, step) = alpha;
+    for (std::size_t i = step + 1; i < m; ++i) qr(i, step) /= v0;
+    beta[step] = -v0 / alpha;
+    qr(step, step) = alpha;
 
-    // Apply (I - beta v vᵀ) to the trailing columns.
+    // Apply (I - beta v vᵀ) to the trailing columns, restructured row-major
+    // over the kernels: w = (trailing A)ᵀ·v accumulates per output element
+    // in the same ascending-row order the old column loop used, then each
+    // row takes one axpy. Same arithmetic, cache-friendly traversal.
+    const std::size_t trail = n - step - 1;
+    if (trail == 0) {
+      col_norms[step] = 0.0;
+      continue;
+    }
+    const std::span<double> w(update.data(), trail);
+    const auto top = qr.row(step).subspan(step + 1);
+    std::copy(top.begin(), top.end(), w.begin());
+    for (std::size_t i = step + 1; i < m; ++i)
+      kernels::axpy(qr(i, step), qr.row(i).subspan(step + 1), w);
+    kernels::scal(beta[step], w);
+    kernels::axpy(-1.0, w, qr.row(step).subspan(step + 1));
+    for (std::size_t i = step + 1; i < m; ++i)
+      kernels::axpy(-qr(i, step), w, qr.row(i).subspan(step + 1));
     for (std::size_t j = step + 1; j < n; ++j) {
-      double w = qr_(step, j);
-      for (std::size_t i = step + 1; i < m; ++i) w += qr_(i, step) * qr_(i, j);
-      w *= beta_[step];
-      qr_(step, j) -= w;
-      for (std::size_t i = step + 1; i < m; ++i)
-        qr_(i, j) -= w * qr_(i, step);
-      col_norms[j] -= qr_(step, j) * qr_(step, j);
+      col_norms[j] -= qr(step, j) * qr(step, j);
       col_norms[j] = std::max(col_norms[j], 0.0);
     }
     col_norms[step] = 0.0;
   }
 
   // Numerical rank: diagonal entries of R above the threshold.
-  rank_ = 0;
-  for (std::size_t i = 0; i < steps; ++i) {
-    if (std::abs(qr_(i, i)) > threshold) ++rank_;
-  }
+  std::size_t rank = 0;
+  for (std::size_t i = 0; i < steps; ++i)
+    if (std::abs(qr(i, i)) > threshold) ++rank;
+  return rank;
 }
 
-void ColumnPivotedQr::apply_qt(Vector& v) const {
-  const std::size_t m = qr_.rows();
-  for (std::size_t step = 0; step < beta_.size(); ++step) {
-    if (beta_[step] == 0.0) continue;
-    double w = v[step];
-    for (std::size_t i = step + 1; i < m; ++i) w += qr_(i, step) * v[i];
-    w *= beta_[step];
-    v[step] -= w;
-    for (std::size_t i = step + 1; i < m; ++i) v[i] -= w * qr_(i, step);
+double qr_solve_inplace(const Matrix& qr, const Vector& beta,
+                        const std::vector<std::size_t>& perm,
+                        std::size_t rank, Vector& y, Vector& x) {
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  HGC_REQUIRE(y.size() == m, "rhs length mismatch");
+
+  // y ← Qᵀy (reflectors stored below the diagonal).
+  for (std::size_t step = 0; step < beta.size(); ++step) {
+    if (beta[step] == 0.0) continue;
+    double w = y[step];
+    for (std::size_t i = step + 1; i < m; ++i) w += qr(i, step) * y[i];
+    w *= beta[step];
+    y[step] -= w;
+    for (std::size_t i = step + 1; i < m; ++i) y[i] -= w * qr(i, step);
   }
-}
 
-LeastSquaresResult ColumnPivotedQr::solve(std::span<const double> b) const {
-  const std::size_t m = qr_.rows();
-  const std::size_t n = qr_.cols();
-  HGC_REQUIRE(b.size() == m, "rhs length mismatch");
-
-  Vector y(b.begin(), b.end());
-  apply_qt(y);
-
-  // Back substitution on the leading rank_×rank_ block of R.
-  Vector z(rank_, 0.0);
-  for (std::size_t ii = rank_; ii-- > 0;) {
-    double acc = y[ii];
-    for (std::size_t j = ii + 1; j < rank_; ++j) acc -= qr_(ii, j) * z[j];
-    z[ii] = acc / qr_(ii, ii);
+  // Back substitution on the leading rank×rank block of R, in place over
+  // y's prefix (y[j] for j > ii already holds z_j when row ii is reduced).
+  for (std::size_t ii = rank; ii-- > 0;) {
+    const double acc =
+        y[ii] - kernels::dot({qr.row(ii).data() + ii + 1, rank - ii - 1},
+                             {y.data() + ii + 1, rank - ii - 1});
+    y[ii] = acc / qr(ii, ii);
   }
 
   // Basic solution: pivot columns get z, free columns get zero.
-  Vector x(n, 0.0);
-  for (std::size_t j = 0; j < rank_; ++j) x[perm_[j]] = z[j];
+  x.assign(n, 0.0);
+  for (std::size_t j = 0; j < rank; ++j) x[perm[j]] = y[j];
 
   // Residual: rows of Qᵀb not reachable by the rank columns, plus any
   // neglected coupling R[0:r, r:] (zero here because free vars are zero).
   double res2 = 0.0;
-  for (std::size_t i = rank_; i < m; ++i) res2 += y[i] * y[i];
-  return {std::move(x), std::sqrt(res2), rank_};
+  for (std::size_t i = rank; i < m; ++i) res2 += y[i] * y[i];
+  return std::sqrt(res2);
+}
+
+}  // namespace linalg_detail
+
+ColumnPivotedQr::ColumnPivotedQr(Matrix a, double tolerance)
+    : qr_(std::move(a)) {
+  Vector col_norms, update;
+  rank_ = linalg_detail::qr_factor_inplace(qr_, beta_, perm_, col_norms,
+                                           update, tolerance);
+}
+
+LeastSquaresResult ColumnPivotedQr::solve(std::span<const double> b) const {
+  HGC_REQUIRE(b.size() == qr_.rows(), "rhs length mismatch");
+  Vector y(b.begin(), b.end());
+  Vector x;
+  const double residual =
+      linalg_detail::qr_solve_inplace(qr_, beta_, perm_, rank_, y, x);
+  return {std::move(x), residual, rank_};
 }
 
 std::size_t matrix_rank(const Matrix& a, double tolerance) {

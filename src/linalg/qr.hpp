@@ -31,9 +31,6 @@ class ColumnPivotedQr {
   LeastSquaresResult solve(std::span<const double> b) const;
 
  private:
-  /// Apply Qᵀ to a vector in place (reflectors stored below the diagonal).
-  void apply_qt(Vector& v) const;
-
   Matrix qr_;                      // R in the upper triangle, reflectors below
   Vector beta_;                    // reflector scales
   std::vector<std::size_t> perm_;  // column permutation (perm_[j] = original)
@@ -47,4 +44,25 @@ std::size_t matrix_rank(const Matrix& a, double tolerance = 1e-10);
 LeastSquaresResult least_squares(Matrix a, std::span<const double> b,
                                  double tolerance = 1e-10);
 
+namespace linalg_detail {
+
+/// In-place column-pivoted Householder QR core shared by ColumnPivotedQr
+/// and QrWorkspace. Factors `qr` destructively (R in the upper triangle,
+/// reflectors below); beta/perm are resized to fit, col_norms and update
+/// are scratch. Returns the numerical rank. Allocation-free once every
+/// buffer has capacity for the shape.
+std::size_t qr_factor_inplace(Matrix& qr, Vector& beta,
+                              std::vector<std::size_t>& perm,
+                              Vector& col_norms, Vector& update,
+                              double tolerance);
+
+/// Least-squares solve from packed factors. `y` enters holding a copy of
+/// the rhs and is clobbered (Qᵀb, then the back-substituted z in its
+/// prefix); the basic solution lands in x (resized, free variables zero).
+/// Returns the residual norm.
+double qr_solve_inplace(const Matrix& qr, const Vector& beta,
+                        const std::vector<std::size_t>& perm,
+                        std::size_t rank, Vector& y, Vector& x);
+
+}  // namespace linalg_detail
 }  // namespace hgc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "util/error.hpp"
 
 namespace hgc {
@@ -58,13 +59,11 @@ double SoftmaxRegression::loss_and_gradient(const Dataset& data,
   double total_loss = 0.0;
   for (std::size_t row : rows) {
     const auto x = data.features.row(row);
-    for (std::size_t c = 0; c < classes_; ++c)
-      logits[c] = dot({w.data() + c * dim_, dim_}, x) + b[c];
+    kernels::gemv(w.data(), dim_, classes_, dim_, x, logits);
+    kernels::axpy(1.0, b, logits);
     total_loss += softmax_cross_entropy(logits, data.labels[row], dlogits);
-    for (std::size_t c = 0; c < classes_; ++c) {
-      axpy(dlogits[c], x, {gw.data() + c * dim_, dim_});
-      gb[c] += dlogits[c];
-    }
+    kernels::rank1_update(gw.data(), dim_, classes_, dim_, 1.0, dlogits, x);
+    kernels::axpy(1.0, dlogits, gb);
   }
   return total_loss;
 }
@@ -79,8 +78,8 @@ double SoftmaxRegression::loss(const Dataset& data,
   double total_loss = 0.0;
   for (std::size_t row : rows) {
     const auto x = data.features.row(row);
-    for (std::size_t c = 0; c < classes_; ++c)
-      logits[c] = dot({w.data() + c * dim_, dim_}, x) + b[c];
+    kernels::gemv(w.data(), dim_, classes_, dim_, x, logits);
+    kernels::axpy(1.0, b, logits);
     total_loss += softmax_cross_entropy(logits, data.labels[row], {});
   }
   return total_loss;
@@ -96,8 +95,8 @@ double SoftmaxRegression::accuracy(const Dataset& data,
   Vector logits(classes_);
   for (std::size_t row : rows) {
     const auto x = data.features.row(row);
-    for (std::size_t c = 0; c < classes_; ++c)
-      logits[c] = dot({w.data() + c * dim_, dim_}, x) + b[c];
+    kernels::gemv(w.data(), dim_, classes_, dim_, x, logits);
+    kernels::axpy(1.0, b, logits);
     const auto best = static_cast<int>(
         std::max_element(logits.begin(), logits.end()) - logits.begin());
     correct += best == data.labels[row] ? 1 : 0;
@@ -135,12 +134,13 @@ void Mlp::forward(const Dataset& data, std::size_t row,
       params.subspan(hidden_ * dim_ + hidden_ + classes_ * hidden_, classes_);
 
   const auto x = data.features.row(row);
+  kernels::gemv(w1.data(), dim_, hidden_, dim_, x, hidden);
   for (std::size_t h = 0; h < hidden_; ++h) {
-    const double pre = dot({w1.data() + h * dim_, dim_}, x) + b1[h];
+    const double pre = hidden[h] + b1[h];
     hidden[h] = pre > 0.0 ? pre : 0.0;  // ReLU
   }
-  for (std::size_t c = 0; c < classes_; ++c)
-    logits[c] = dot({w2.data() + c * hidden_, hidden_}, hidden) + b2[c];
+  kernels::gemv(w2.data(), hidden_, classes_, hidden_, hidden, logits);
+  kernels::axpy(1.0, b2, logits);
 }
 
 double Mlp::loss_and_gradient(const Dataset& data,
@@ -168,18 +168,15 @@ double Mlp::loss_and_gradient(const Dataset& data,
     total_loss += softmax_cross_entropy(logits, data.labels[row], dlogits);
 
     // Output layer gradients.
-    for (std::size_t c = 0; c < classes_; ++c) {
-      axpy(dlogits[c], hidden, {gw2.data() + c * hidden_, hidden_});
-      gb2[c] += dlogits[c];
-    }
+    kernels::rank1_update(gw2.data(), hidden_, classes_, hidden_, 1.0,
+                          dlogits, hidden);
+    kernels::axpy(1.0, dlogits, gb2);
     // Backprop into the hidden layer (ReLU mask: hidden > 0).
-    std::fill(dhidden.begin(), dhidden.end(), 0.0);
-    for (std::size_t c = 0; c < classes_; ++c)
-      axpy(dlogits[c], {w2.data() + c * hidden_, hidden_}, dhidden);
+    kernels::gemv_t(w2.data(), hidden_, classes_, hidden_, dlogits, dhidden);
     const auto x = data.features.row(row);
     for (std::size_t h = 0; h < hidden_; ++h) {
       if (hidden[h] <= 0.0) continue;
-      axpy(dhidden[h], x, {gw1.data() + h * dim_, dim_});
+      kernels::axpy(dhidden[h], x, {gw1.data() + h * dim_, dim_});
       gb1[h] += dhidden[h];
     }
   }

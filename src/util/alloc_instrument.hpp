@@ -1,0 +1,54 @@
+// Binary-wide heap-allocation instrumentation for benches and tests.
+//
+// Including this header replaces the global replaceable allocation
+// functions with malloc-backed versions that bump one relaxed counter, so a
+// bench can report allocations-per-iteration and a test can pin a
+// zero-allocation contract exactly.
+//
+// IMPORTANT: include from EXACTLY ONE translation unit of the instrumented
+// binary (the replacement operators are deliberately non-inline — the
+// standard forbids inline replacements — so a second including TU is a
+// duplicate-symbol link error, never a silent half-instrumented binary).
+// Never include it from library code.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace hgc::alloc_instrument {
+
+inline std::atomic<std::size_t> g_allocations{0};
+
+/// Total replaceable-new calls since process start.
+inline std::size_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace hgc::alloc_instrument
+
+// GCC's pairing heuristic flags malloc-backed replacement allocators even
+// though new/delete are replaced as a consistent pair — silence it here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  hgc::alloc_instrument::g_allocations.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  hgc::alloc_instrument::g_allocations.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop

@@ -8,8 +8,15 @@
 namespace hgc {
 
 Args::Args(int argc, const char* const* argv) {
-  for (int i = 1; i < argc; ++i) {
-    std::string token = argv[i];
+  std::vector<std::string> tokens;
+  tokens.reserve(argc > 0 ? static_cast<std::size_t>(argc) - 1 : 0);
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  *this = Args(std::span<const std::string>(tokens));
+}
+
+Args::Args(std::span<const std::string> tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    std::string token = tokens[i];
     HGC_REQUIRE(token.rfind("--", 0) == 0,
                 "options must start with --, got: " + token);
     token.erase(0, 2);
@@ -17,8 +24,9 @@ Args::Args(int argc, const char* const* argv) {
     if (eq != std::string::npos) {
       values_[token.substr(0, eq)] = token.substr(eq + 1);
       bare_flags_.erase(token.substr(0, eq));
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[token] = argv[++i];
+    } else if (i + 1 < tokens.size() &&
+               tokens[i + 1].rfind("--", 0) != 0) {
+      values_[token] = tokens[++i];
       bare_flags_.erase(token);
     } else {
       // Bare flag: remember it as such so a value-typed read of this key

@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace hgc {
 
@@ -19,6 +21,13 @@ namespace hgc {
 class Args {
  public:
   Args(int argc, const char* const* argv);
+
+  /// Parse an already-tokenized option list (no program name). Lets a main
+  /// that shares argv with another parser — e.g. the bench binaries, which
+  /// split off google-benchmark's --benchmark_* flags — route its own flags
+  /// through the same strict `--key value` / `--key=value` rules, with
+  /// errors that name the offending flag.
+  explicit Args(std::span<const std::string> tokens);
 
   bool has(const std::string& key) const;
 

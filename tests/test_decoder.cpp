@@ -39,6 +39,46 @@ TEST(DecodingMatrix, NaiveHasSingleEmptyPattern) {
   EXPECT_EQ(rows[0].coefficients, Vector(4, 1.0));
 }
 
+/// A deliberately broken scheme: decodable only when every worker responded
+/// (claims) — or never (s = 0 case) — to exercise the builder's error paths.
+class NeverDecodableScheme : public CodingScheme {
+ public:
+  NeverDecodableScheme(std::size_t m, std::size_t s)
+      : CodingScheme(Matrix::ones(m, 1), Assignment(m, {0}), s) {}
+  std::string name() const override { return "never-decodable"; }
+  std::optional<Vector> decoding_coefficients(
+      const std::vector<bool>&) const override {
+    return std::nullopt;
+  }
+};
+
+TEST(DecodingMatrix, EmptyPatternErrorDoesNotInventAWorkerId) {
+  // s = 0 enumerates one empty pattern; the old message printed m ("worker
+  // 2" here) as "the worker starting the pattern".
+  NeverDecodableScheme scheme(2, 0);
+  try {
+    build_decoding_matrix(scheme);
+    FAIL() << "expected DecodeError";
+  } catch (const DecodeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("empty straggler pattern"), std::string::npos)
+        << what;
+    EXPECT_EQ(what.find("worker 2"), std::string::npos) << what;
+  }
+}
+
+TEST(DecodingMatrix, NonEmptyPatternErrorNamesItsFirstWorker) {
+  NeverDecodableScheme scheme(3, 1);
+  try {
+    build_decoding_matrix(scheme);
+    FAIL() << "expected DecodeError";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("starting at worker 0"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(StreamingDecoder, DecodesAtFirstSufficientArrival) {
   Rng rng(53);
   HeterAwareScheme scheme({1, 2, 3, 4, 4}, 7, 1, rng);

@@ -1,0 +1,345 @@
+// Property tests for the linalg kernel + workspace layer: kernels against
+// naive references, workspace/in-place solves against the allocating paths
+// over randomized shapes (1e-12), and the zero-allocations-after-warm-up
+// regression for robustness::satisfies_condition1, pinned with an
+// instrumented global allocator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cyclic.hpp"
+#include "core/robustness.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/nullspace.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/workspace.hpp"
+#include "util/rng.hpp"
+
+// Instruments this whole binary; the zero-alloc regression snapshots the
+// counter around a warmed-up call, so gtest's own bookkeeping outside that
+// window never pollutes the measurement.
+#include "util/alloc_instrument.hpp"
+
+namespace hgc {
+namespace {
+
+using alloc_instrument::allocation_count;
+
+constexpr double kMatchTolerance = 1e-12;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  return m;
+}
+
+Vector random_vector(std::size_t n, Rng& rng) {
+  Vector v(n);
+  for (double& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(AllocationInstrument, CountsHeapAllocations) {
+  const std::size_t before = allocation_count();
+  Vector v(257, 1.0);
+  EXPECT_GT(allocation_count(), before);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+}
+
+// ------------------------------------------------- kernels vs references --
+
+TEST(Kernels, DotMatchesNaive) {
+  Rng rng(101);
+  for (std::size_t n = 0; n < 135; n += (n < 9 ? 1 : 13)) {
+    const Vector a = random_vector(n, rng);
+    const Vector b = random_vector(n, rng);
+    double ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) ref += a[i] * b[i];
+    EXPECT_NEAR(kernels::dot(a, b), ref, 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Kernels, DotIsDeterministic) {
+  // Same input → bit-identical result, regardless of repetition.
+  Rng rng(102);
+  const Vector a = random_vector(1031, rng);
+  const Vector b = random_vector(1031, rng);
+  const double first = kernels::dot(a, b);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(kernels::dot(a, b), first);
+}
+
+TEST(Kernels, AxpyScalMatchNaive) {
+  Rng rng(103);
+  for (std::size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 130u}) {
+    const Vector x = random_vector(n, rng);
+    Vector y = random_vector(n, rng);
+    Vector ref = y;
+    kernels::axpy(0.37, x, y);
+    for (std::size_t i = 0; i < n; ++i) ref[i] += 0.37 * x[i];
+    for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y[i], ref[i]);
+
+    kernels::scal(-1.25, y);
+    for (std::size_t i = 0; i < n; ++i) ref[i] *= -1.25;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y[i], ref[i]);
+  }
+}
+
+TEST(Kernels, GemvMatchesApply) {
+  Rng rng(104);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(trial % 7);
+    const std::size_t n = 1 + static_cast<std::size_t>((trial * 3) % 11);
+    const Matrix a = random_matrix(m, n, rng);
+    const Vector x = random_vector(n, rng);
+    Vector y(m);
+    kernels::gemv(a.data().data(), n, m, n, x, y);
+    for (std::size_t r = 0; r < m; ++r) {
+      double ref = 0.0;
+      for (std::size_t c = 0; c < n; ++c) ref += a(r, c) * x[c];
+      EXPECT_NEAR(y[r], ref, 1e-10);
+    }
+  }
+}
+
+TEST(Kernels, GemvTransposeMatchesNaive) {
+  Rng rng(105);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(trial % 6);
+    const std::size_t n = 1 + static_cast<std::size_t>((trial * 5) % 9);
+    const Matrix a = random_matrix(m, n, rng);
+    const Vector x = random_vector(m, rng);
+    Vector y(n, 99.0);  // gemv_t must overwrite, not accumulate
+    kernels::gemv_t(a.data().data(), n, m, n, x, y);
+    for (std::size_t c = 0; c < n; ++c) {
+      double ref = 0.0;
+      for (std::size_t r = 0; r < m; ++r) ref += x[r] * a(r, c);
+      EXPECT_NEAR(y[c], ref, 1e-10);
+    }
+  }
+}
+
+TEST(Kernels, Rank1UpdateMatchesNaive) {
+  Rng rng(106);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(trial % 9);
+    const std::size_t n = 1 + static_cast<std::size_t>((trial * 7) % 13);
+    Matrix a = random_matrix(m, n, rng);
+    Matrix ref = a;
+    const Vector x = random_vector(m, rng);
+    const Vector y = random_vector(n, rng);
+    kernels::rank1_update(a.data().data(), n, m, n, 0.73, x, y);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) ref(r, c) += (0.73 * x[r]) * y[c];
+    EXPECT_NEAR(Matrix::max_abs_diff(a, ref), 0.0, 1e-12);
+  }
+}
+
+TEST(Kernels, GemvHonorsLeadingDimension) {
+  // A 2×2 sub-block of a 3-column matrix: lda = 3 ≠ cols = 2.
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Vector x{1.0, 1.0};
+  Vector y(2);
+  kernels::gemv(a.data().data(), 3, 2, 2, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+}
+
+// ------------------------------- workspace solves vs allocating paths --
+
+TEST(LuWorkspace, MatchesLuDecompositionOverRandomShapes) {
+  Rng rng(107);
+  LuWorkspace ws;  // one workspace across every shape
+  Vector x;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 9);
+    const Matrix a = random_matrix(n, n, rng);
+    const Vector b = random_vector(n, rng);
+    ASSERT_TRUE(ws.factor(a)) << "random matrix singular?";
+    ws.solve_into(b, x);
+    const Vector ref = lu_solve(a, b);
+    ASSERT_EQ(x.size(), ref.size());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(x[i], ref[i], kMatchTolerance) << "trial " << trial;
+  }
+}
+
+TEST(LuWorkspace, FactorColsMatchesSelectCols) {
+  Rng rng(108);
+  const Matrix c = random_matrix(4, 9, rng);
+  const std::vector<std::size_t> cols{7, 2, 5, 0};
+  const Vector b{1.0, 1.0, 1.0, 1.0};
+  LuWorkspace ws;
+  Vector x;
+  ASSERT_TRUE(ws.factor_cols(c, cols));
+  ws.solve_into(b, x);
+  const Vector ref = lu_solve(c.select_cols(cols), b);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(x[i], ref[i], kMatchTolerance);
+}
+
+TEST(LuWorkspace, SingularMatrixReportedAndSolveThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  LuWorkspace ws;
+  EXPECT_FALSE(lu_factor_into(a, ws));
+  EXPECT_TRUE(ws.is_singular());
+  Vector x;
+  EXPECT_THROW(ws.solve_into(Vector{1.0, 1.0}, x), InternalError);
+}
+
+TEST(QrWorkspace, MatchesLeastSquaresOverRandomShapes) {
+  Rng rng(109);
+  QrWorkspace ws;  // one workspace across every shape
+  Vector x;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(trial % 8);
+    const std::size_t n = 1 + static_cast<std::size_t>((trial * 3) % 6);
+    const Matrix a = random_matrix(m, n, rng);
+    const Vector b = random_vector(m, rng);
+    const auto ref = least_squares(a, b);
+    const InPlaceSolveInfo info = least_squares_into(a, b, ws, x);
+    EXPECT_EQ(info.rank, ref.rank) << "trial " << trial;
+    EXPECT_NEAR(info.residual, ref.residual, kMatchTolerance);
+    ASSERT_EQ(x.size(), ref.x.size());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(x[i], ref.x[i], kMatchTolerance) << "trial " << trial;
+  }
+}
+
+TEST(QrWorkspace, RankDeficientAgreesWithAllocatingPath) {
+  Rng rng(110);
+  Matrix a(5, 3);
+  for (std::size_t i = 0; i < 5; ++i) {
+    a(i, 0) = rng.normal();
+    a(i, 1) = rng.normal();
+    a(i, 2) = a(i, 0) + a(i, 1);  // rank 2
+  }
+  const Vector b = random_vector(5, rng);
+  QrWorkspace ws;
+  Vector x;
+  const auto info = least_squares_into(a, b, ws, x);
+  const auto ref = least_squares(a, b);
+  EXPECT_EQ(info.rank, 2u);
+  EXPECT_EQ(ref.rank, 2u);
+  EXPECT_NEAR(info.residual, ref.residual, kMatchTolerance);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(x[i], ref.x[i], kMatchTolerance);
+}
+
+TEST(QrWorkspace, FactorTransposedMatchesMaterializedTranspose) {
+  Rng rng(111);
+  QrWorkspace ws;
+  Vector x;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = 4 + static_cast<std::size_t>(trial % 5);
+    const std::size_t k = 2 + static_cast<std::size_t>((trial * 3) % 7);
+    const Matrix b = random_matrix(m, k, rng);
+    // A random row subset, unsorted order on odd trials.
+    std::vector<std::size_t> rows;
+    for (std::size_t w = 0; w < m; ++w)
+      if (rng.uniform(0.0, 1.0) < 0.7) rows.push_back(w);
+    if (rows.empty()) rows.push_back(trial % m);
+    if (trial % 2 == 1) std::swap(rows.front(), rows.back());
+
+    const Vector ones(k, 1.0);
+    ws.factor_transposed(RowSelectView(b, rows));
+    const double residual = ws.solve_into(ones, x);
+    const auto ref = least_squares(b.select_rows(rows).transposed(), ones);
+    EXPECT_EQ(ws.rank(), ref.rank) << "trial " << trial;
+    EXPECT_NEAR(residual, ref.residual, kMatchTolerance);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      EXPECT_NEAR(x[i], ref.x[i], kMatchTolerance) << "trial " << trial;
+  }
+}
+
+TEST(RowSelectView, RejectsOutOfRangeRows) {
+  const Matrix b(3, 2);
+  const std::vector<std::size_t> bad{1, 3};
+  EXPECT_THROW(RowSelectView(b, bad), std::invalid_argument);
+}
+
+TEST(NullSpace, IntoVariantMatchesAllocating) {
+  Rng rng(112);
+  Matrix rref, basis;
+  std::vector<std::size_t> pivots;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t rows = 1 + static_cast<std::size_t>(trial % 4);
+    const std::size_t cols = rows + static_cast<std::size_t>(trial % 3);
+    const Matrix a = random_matrix(rows, cols, rng);
+    null_space_basis_into(a, rref, pivots, basis);
+    const Matrix ref = null_space_basis(a);
+    ASSERT_EQ(basis.rows(), ref.rows());
+    ASSERT_EQ(basis.cols(), ref.cols());
+    EXPECT_NEAR(Matrix::max_abs_diff(basis, ref), 0.0, kMatchTolerance);
+  }
+}
+
+// ------------------------------------------- decode-path equivalences --
+
+TEST(Robustness, WorkspaceOverloadsAgreeOnRealScheme) {
+  Rng rng(113);
+  const CyclicScheme scheme(8, 2, rng);
+  const Matrix& b = scheme.coding_matrix();
+  SolveWorkspace ws;
+  EXPECT_EQ(satisfies_condition1(b, 2),
+            satisfies_condition1(b, 2, 1e-8, &ws));
+  EXPECT_TRUE(satisfies_condition1(b, 2, 1e-8, &ws));
+  // A matrix that is NOT robust must agree too.
+  Matrix broken = b;
+  for (std::size_t j = 0; j < broken.cols(); ++j) {
+    broken(0, j) = 0.0;
+    broken(1, j) = 0.0;
+    broken(2, j) = 0.0;
+  }
+  EXPECT_EQ(satisfies_condition1(broken, 2),
+            satisfies_condition1(broken, 2, 1e-8, &ws));
+
+  std::vector<std::size_t> some_rows{0, 2, 3, 5, 6, 7};
+  EXPECT_EQ(ones_in_row_span(b, some_rows, 1e-8),
+            ones_in_row_span(b, some_rows, 1e-8, ws));
+}
+
+TEST(Robustness, Condition1ZeroAllocationsAfterWarmup) {
+  Rng rng(114);
+  const CyclicScheme scheme(8, 2, rng);
+  const Matrix& b = scheme.coding_matrix();
+  SolveWorkspace ws;
+  // Warm-up sizes every buffer in the workspace (C(8,2) = 28 solves).
+  ASSERT_TRUE(satisfies_condition1(b, 2, 1e-8, &ws));
+
+  const std::size_t before = allocation_count();
+  const bool ok = satisfies_condition1(b, 2, 1e-8, &ws);
+  const std::size_t after = allocation_count();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(after - before, 0u)
+      << "satisfies_condition1 allocated on a warmed-up workspace";
+}
+
+TEST(Robustness, WorkspaceSolvesAreHistoryIndependent) {
+  // A workspace that just solved a big shape must give bit-identical
+  // results on a small one (full state reset per factor) — this is what
+  // lets the sweep share one workspace per thread without perturbing the
+  // byte-identical-output contract.
+  Rng rng(115);
+  const Matrix big = random_matrix(12, 7, rng);
+  const Matrix small = random_matrix(3, 2, rng);
+  const Vector b_big = random_vector(12, rng);
+  const Vector b_small = random_vector(3, rng);
+
+  QrWorkspace fresh;
+  Vector x_fresh;
+  least_squares_into(small, b_small, fresh, x_fresh);
+
+  QrWorkspace used;
+  Vector x_used;
+  least_squares_into(big, b_big, used, x_used);
+  least_squares_into(small, b_small, used, x_used);
+
+  ASSERT_EQ(x_used.size(), x_fresh.size());
+  for (std::size_t i = 0; i < x_fresh.size(); ++i)
+    EXPECT_EQ(x_used[i], x_fresh[i]);  // bitwise
+}
+
+}  // namespace
+}  // namespace hgc

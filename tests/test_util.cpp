@@ -444,5 +444,31 @@ TEST(Args, NegativeValuesStillParse) {
   EXPECT_DOUBLE_EQ(args.get_double("offset", 0.0), -0.25);
 }
 
+TEST(Args, TokenSpanConstructorMatchesArgv) {
+  // The bench mains pre-split argv (google-benchmark keeps --benchmark_*)
+  // and feed the rest in as tokens; both `--flag value` and `--flag=value`
+  // must parse under the same strict rules, errors naming the flag.
+  const std::vector<std::string> tokens = {"--json", "out.json",
+                                           "--iters=12", "--quiet"};
+  Args args{std::span<const std::string>(tokens)};
+  EXPECT_EQ(args.get("json", "-"), "out.json");
+  EXPECT_EQ(args.get_int("iters", 0), 12);
+  EXPECT_TRUE(args.get_bool("quiet", false));
+  EXPECT_NO_THROW(args.check_unused());
+
+  const std::vector<std::string> bare = {"--json", "--iters", "3"};
+  Args swallowed{std::span<const std::string>(bare)};
+  try {
+    swallowed.get("json", "-");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--json"), std::string::npos);
+  }
+
+  const std::vector<std::string> malformed = {"oops"};
+  EXPECT_THROW(Args{std::span<const std::string>(malformed)},
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hgc

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Perf-smoke floor check for the kernel benches.
+
+Usage: check_bench_floor.py BENCH_kernels.json bench/kernels_baseline.json
+
+Reads a google-benchmark JSON report and a baseline file, and fails (exit 1)
+only on gross regressions:
+  * an entry whose baseline records `mflops` must measure at least
+    baseline_mflops / mflops_floor_divisor (default 5x headroom, so
+    machine-to-machine noise never trips it — only order-of-magnitude
+    regressions like a scalarized kernel or a copy in the hot loop);
+  * an entry whose baseline records `max_allocs_per_iter` must measure an
+    allocs_per_iter counter at or below it (the workspace layer's
+    zero-steady-state-allocation contract, checked exactly);
+  * every baseline entry must be present in the report (a silently skipped
+    bench must not pass).
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    results = {b["name"]: b for b in report.get("benchmarks", [])}
+    divisor = float(baseline.get("mflops_floor_divisor", 5.0))
+    failures = []
+    checked = 0
+
+    for name, spec in baseline["benchmarks"].items():
+        got = results.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from the benchmark report")
+            continue
+        if "mflops" in spec:
+            checked += 1
+            floor = float(spec["mflops"]) / divisor
+            measured = got.get("mflops")
+            if measured is None or float(measured) < floor:
+                failures.append(
+                    f"{name}: mflops {measured} below floor {floor:.1f} "
+                    f"(baseline {spec['mflops']} / {divisor:g})"
+                )
+        if "max_allocs_per_iter" in spec:
+            checked += 1
+            measured = got.get("allocs_per_iter")
+            ceiling = float(spec["max_allocs_per_iter"])
+            if measured is None:
+                # A dropped counter must fail, not pass vacuously as 0.
+                failures.append(
+                    f"{name}: allocs_per_iter counter missing from the "
+                    f"report (AllocCounter.report() removed?)"
+                )
+            elif float(measured) > ceiling:
+                failures.append(
+                    f"{name}: allocs_per_iter {float(measured):g} exceeds "
+                    f"{ceiling:g}"
+                )
+
+    print(f"check_bench_floor: {checked} floors checked, "
+          f"{len(failures)} failures")
+    for failure in failures:
+        print(f"  FAIL {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
