@@ -31,7 +31,11 @@ void print_usage(std::ostream& os) {
         "                     clusters=A,B;schemes=heter,group;s=1,2;\n"
         "                     delay_factors=0,2;fault=1;fluct=0.05;\n"
         "                     sigmas=0,0.2;seeds=1..5;iters=100;\n"
-        "                     scenarios=static,churn,trace;trace=file.csv\n"
+        "                     scenarios=static,churn,trace;trace=file.csv;\n"
+        "                     scenario_file=examples/churn_drift.scn\n"
+        "  --scenario-file F  add a scenario-DSL file as one point on the\n"
+        "                     scenario axis (repeatable; works with presets\n"
+        "                     and specs alike — see README 'Scenario DSL')\n"
         "  --iters N          override the grid's iteration count\n"
         "  --threads N        worker threads (default: all cores)\n"
         "  --cache/--no-cache share constructed schemes across cells and\n"
@@ -84,6 +88,8 @@ int main(int argc, char** argv) {
     const std::string json_path = args.get("json", "");
     const std::string pivot_spec = args.get("pivot", "");
     const std::string aggregate_axis = args.get("aggregate", "");
+    const std::vector<std::string> scenario_files =
+        args.get_list("scenario-file");
     bool use_cache = args.get_bool("cache", true);
     if (args.get_bool("no-cache", false)) use_cache = false;
     args.check_unused();
@@ -96,14 +102,30 @@ int main(int argc, char** argv) {
     if (grid_arg.find('=') != std::string::npos) {
       figure.name = "custom";
       figure.description = "ad-hoc grid spec";
-      // Apply --iters inside the spec (last key wins) so the parser builds
-      // scenario schedules (churn horizon, demo trace) against the
-      // overridden count, not the spec's default.
+      // Apply --iters and --scenario-file inside the spec so the parser
+      // builds scenario schedules (churn horizon, demo trace) against the
+      // overridden count, and so an explicit scenarios= list keeps its
+      // points when files append after it.
       std::string spec = grid_arg;
       if (iters != 0) spec += ";iters=" + std::to_string(iters);
+      for (const std::string& path : scenario_files)
+        spec += ";scenario_file=" + path;
       figure.grid = exec::parse_grid_spec(spec);
     } else {
       figure = exec::make_figure(grid_arg, iters);
+      // The custom-bodied presets (fig4, loss, ...) run their own cell
+      // functions, which never read the scenario axis — silently accepting
+      // a file the run then ignores is the same bug class as a dropped
+      // trace= path.
+      if (!scenario_files.empty() && figure.fn)
+        throw std::invalid_argument(
+            "--scenario-file has no effect on preset '" + grid_arg +
+            "': its custom cell body ignores the scenario axis; use a "
+            "built-in-body preset (fig2, fig3, fig5, sigma, scenarios) or "
+            "a key=value --grid spec");
+      // Each file is one more point on the preset's scenario axis
+      // (replacing a static-only axis, appending after a multi-point one).
+      exec::append_scenario_files(figure.grid, scenario_files);
     }
 
     exec::SweepOptions options;

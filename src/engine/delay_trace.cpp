@@ -1,5 +1,6 @@
 #include "engine/delay_trace.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -85,10 +86,17 @@ DelayTrace load_delay_trace_csv(const std::string& path) {
 }
 
 void write_delay_trace_csv(const DelayTrace& trace, std::ostream& out) {
+  // Shortest round-trip representation (std::to_chars), not operator<<'s
+  // default 6 significant digits: a saved trace must replay the exact same
+  // doubles, or the "same trace row drives every scheme" fairness contract
+  // quietly breaks after a save/load cycle.
+  char buf[32];
   for (const auto& row : trace.rows()) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) out << ',';
-      out << row[i];
+      const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), row[i]);
+      HGC_REQUIRE(ec == std::errc(), "delay value formatting failed");
+      out.write(buf, static_cast<std::streamsize>(ptr - buf));
     }
     out << '\n';
   }

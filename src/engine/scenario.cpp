@@ -1,6 +1,7 @@
 #include "engine/scenario.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -33,14 +34,66 @@ Throughputs throughputs_of(const std::vector<RosterEntry>& roster) {
 
 }  // namespace
 
+double DriftWindow::factor_at(double time) const {
+  if (time <= t0) return from;
+  if (time >= t1) return to;
+  const double alpha = (time - t0) / (t1 - t0);
+  return from + alpha * (to - from);
+}
+
 ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
                                const ChurnConfig& config) {
+  // Churn is the script driver with every other script axis empty. The
+  // RNG streams are unchanged (the driver only draws for script features a
+  // run declares), but failure semantics are deliberately unified with
+  // scripts: an undecodable round now advances the clock by the give-up
+  // timeout, where the old churn loop froze it — so churn runs whose model
+  // overwhelms s report slightly larger total_time and may fire pending
+  // events one iteration earlier than before the unification.
+  ScenarioScript script;
+  script.workers = initial.size();
+  script.churn = config.events;
+  ScriptConfig script_config;
+  script_config.iterations = config.iterations;
+  script_config.s = config.s;
+  script_config.k = config.k;
+  script_config.model = config.model;
+  script_config.sim = config.sim;
+  script_config.seed = config.seed;
+  script_config.decoding_cache_capacity = config.decoding_cache_capacity;
+
+  ScriptResult run = run_script_scenario(kind, initial, script, script_config);
+  ChurnResult result;
+  result.scheme = std::move(run.scheme);
+  result.iterations_run = run.iterations_run;
+  result.failures = run.failures;
+  result.reinstantiations = run.reinstantiations;
+  result.total_time = run.total_time;
+  result.iteration_time = run.iteration_time;
+  result.latency = run.latency;
+  result.epoch_sizes = std::move(run.epoch_sizes);
+  result.decode_hits = run.decode_hits;
+  result.decode_misses = run.decode_misses;
+  return result;
+}
+
+ScriptResult run_script_scenario(SchemeKind kind, const Cluster& initial,
+                                 const ScenarioScript& script,
+                                 const ScriptConfig& config) {
   HGC_REQUIRE(config.iterations > 0, "need at least one iteration");
-  HGC_REQUIRE(std::is_sorted(config.events.begin(), config.events.end(),
+  HGC_REQUIRE(script.workers == 0 || script.workers == initial.size(),
+              "scenario script declares " + std::to_string(script.workers) +
+                  " workers but the cluster has " +
+                  std::to_string(initial.size()));
+  HGC_REQUIRE(std::is_sorted(script.churn.begin(), script.churn.end(),
                              [](const ChurnEvent& a, const ChurnEvent& b) {
                                return a.time < b.time;
                              }),
               "churn events must be sorted by time");
+  const std::size_t splice_rows = script.splice.num_iterations();
+  HGC_REQUIRE(splice_rows == 0 ||
+                  script.splice.num_workers() == initial.size(),
+              "spliced trace must have one column per initial worker");
 
   std::vector<RosterEntry> roster;
   roster.reserve(initial.size());
@@ -51,7 +104,7 @@ ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
   Rng construction_rng(config.seed);
   Rng condition_rng(config.seed + 0x79b9);
 
-  ChurnResult result;
+  ScriptResult result;
   std::size_t epoch = 0;
   auto rebuild = [&] {
     HGC_REQUIRE(roster.size() >= config.s + 2,
@@ -84,8 +137,18 @@ ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
   };
   rebuild_cache();
 
+  // Position of a stable worker id in the active roster, or npos once it
+  // has left — scripted effects name roster ids, conditions are positional.
+  const auto position_of = [&](std::size_t id) -> std::size_t {
+    for (std::size_t p = 0; p < roster.size(); ++p)
+      if (roster[p].id == id) return p;
+    return static_cast<std::size_t>(-1);
+  };
+
   double clock = 0.0;
   std::size_t next_event = 0;
+  std::vector<double> burst_until(script.bursts.size(),
+                                  -std::numeric_limits<double>::infinity());
   FixedLatencyLink link(config.sim.comm_latency);
   RoundOptions round_options;
 
@@ -94,9 +157,9 @@ ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
     // the scheme once — the master cannot decode a B matrix built for a
     // worker set that no longer exists.
     bool membership_changed = false;
-    while (next_event < config.events.size() &&
-           config.events[next_event].time <= clock) {
-      const ChurnEvent& event = config.events[next_event++];
+    while (next_event < script.churn.size() &&
+           script.churn[next_event].time <= clock) {
+      const ChurnEvent& event = script.churn[next_event++];
       if (event.join) {
         roster.push_back({next_stable_id++, event.spec});
       } else {
@@ -117,8 +180,53 @@ ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
       ++result.reinstantiations;
     }
 
-    const IterationConditions conditions =
+    IterationConditions conditions =
         config.model.draw(active.size(), condition_rng);
+
+    // Splice row: base per-worker delays recorded against the initial
+    // roster (column = stable id; joined workers take none).
+    if (splice_rows > 0 &&
+        (script.splice_repeat == 0 ||
+         iter < splice_rows * script.splice_repeat)) {
+      const auto& row = script.splice.rows()[iter % splice_rows];
+      for (std::size_t p = 0; p < roster.size(); ++p) {
+        if (roster[p].id >= row.size()) continue;
+        const double v = row[roster[p].id];
+        if (v < 0.0)
+          conditions.faulted[p] = true;
+        else
+          conditions.delay[p] += v;
+      }
+    }
+
+    // Drift windows: scale speed factors by the ramp value at the current
+    // virtual time.
+    for (const DriftWindow& drift : script.drifts) {
+      const std::size_t p = position_of(drift.worker);
+      if (p != static_cast<std::size_t>(-1))
+        conditions.speed_factor[p] *= drift.factor_at(clock);
+    }
+
+    // Correlated bursts: each idle process makes one Bernoulli draw per
+    // iteration; active ones draw nothing until their window expires.
+    for (std::size_t b = 0; b < script.bursts.size(); ++b) {
+      const CorrelatedStragglers& burst = script.bursts[b];
+      if (clock >= burst_until[b] &&
+          condition_rng.bernoulli(burst.probability)) {
+        burst_until[b] = clock + burst.duration;
+        ++result.bursts_started;
+      }
+      if (clock >= burst_until[b]) continue;
+      for (std::size_t id : burst.workers) {
+        const std::size_t p = position_of(id);
+        if (p == static_cast<std::size_t>(-1)) continue;
+        if (burst.fault)
+          conditions.faulted[p] = true;
+        else
+          conditions.delay[p] += burst.delay;
+      }
+    }
+
     round_options.decoding_cache =
         decoding_cache ? &*decoding_cache : nullptr;
     const RoundOutcome round =
@@ -126,6 +234,10 @@ ChurnResult run_churn_scenario(SchemeKind kind, const Cluster& initial,
     ++result.iterations_run;
     if (!round.decoded) {
       ++result.failures;
+      // The master gives up after the epoch's ideal round time; without the
+      // timeout a fault burst would freeze the clock inside its own window
+      // and fail every remaining iteration.
+      clock += ideal_iteration_time(active, config.s);
       continue;
     }
     clock += round.time;

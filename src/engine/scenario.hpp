@@ -1,7 +1,7 @@
 // Scenario drivers on top of the discrete-event engine.
 //
 // The analytic harness in sim/experiment.hpp replays iid conditions on a
-// fixed cluster; real clusters misbehave in richer ways. Two drivers cover
+// fixed cluster; real clusters misbehave in richer ways. Three drivers cover
 // the gap:
 //
 //   * Worker churn — workers leave and join mid-training. The master reacts
@@ -16,7 +16,12 @@
 //     deterministic, which makes scheme comparisons exactly fair by
 //     construction (the same trace row drives every scheme's round).
 //
-// Both drivers run timing-level rounds (engine::run_round over a
+//   * Scenario scripts — a ScenarioScript composes churn, per-worker speed
+//     drift, correlated straggler bursts, and a spliced delay trace into one
+//     run. Scripts are what the operator-authored text DSL (scenario/dsl.hpp)
+//     compiles to, so new failure narratives are data, not C++.
+//
+// All drivers run timing-level rounds (engine::run_round over a
 // FixedLatencyLink), the same granularity as the paper-figure experiments.
 #pragma once
 
@@ -114,5 +119,98 @@ TraceReplayResult replay_trace(SchemeKind kind, const Cluster& cluster,
 std::vector<TraceReplayResult> replay_trace_comparison(
     const std::vector<SchemeKind>& kinds, const Cluster& cluster,
     const DelayTrace& trace, const TraceReplayConfig& config);
+
+// --- Scenario scripts ----------------------------------------------------
+
+/// A linear per-worker speed ramp (the DSL's `drift W speed a -> b over
+/// [t0,t1]`). The named worker's speed factor is multiplied by `from`
+/// before t0, by the linear interpolation inside [t0,t1], and by `to` from
+/// t1 on — a machine heating up, a noisy neighbour moving in, a VM being
+/// live-migrated to slower hardware.
+struct DriftWindow {
+  std::size_t worker = 0;  ///< stable roster id
+  double from = 1.0;       ///< multiplier before the window
+  double to = 1.0;         ///< multiplier after the window
+  double t0 = 0.0;
+  double t1 = 0.0;
+
+  double factor_at(double time) const;
+};
+
+/// One correlated-straggler process (the DSL's `correlated stragglers {..}
+/// p=.. dur=..`). Whenever no burst of this process is active, each
+/// iteration starts one with probability `probability`; an active burst
+/// delays (or fail-stops) every listed worker until `duration` virtual
+/// seconds have passed — the whole rack stalls together, which iid
+/// straggler models cannot express.
+struct CorrelatedStragglers {
+  std::vector<std::size_t> workers;  ///< stable roster ids, hit together
+  double probability = 0.0;          ///< per-iteration burst start chance
+  double duration = 0.0;             ///< burst length in virtual seconds
+  double delay = 0.0;                ///< seconds added while active
+  bool fault = false;                ///< fail-stop instead of delaying
+};
+
+/// A compiled operator-authored scenario: everything the text DSL
+/// (scenario/dsl.hpp) can express, in one runnable value. Conditions
+/// compose per iteration: the run's StragglerModel draws the base, then the
+/// splice row adds its delays (negative = fault), drift windows scale speed
+/// factors, and active bursts add theirs on top.
+struct ScenarioScript {
+  /// Declared initial cluster size; the driver rejects a mismatched
+  /// cluster. 0 = accept any (hand-built scripts only; the DSL always
+  /// declares it).
+  std::size_t workers = 0;
+  std::vector<ChurnEvent> churn;  ///< must be sorted by time, ascending
+  std::vector<DriftWindow> drifts;
+  std::vector<CorrelatedStragglers> bursts;
+  /// Optional base delays (column = stable worker id; workers joined after
+  /// the start take no spliced delay). Empty = none.
+  DelayTrace splice;
+  /// Passes over the splice rows before they stop contributing; 0 = wrap
+  /// forever.
+  std::size_t splice_repeat = 1;
+};
+
+/// Configuration of a script run.
+struct ScriptConfig {
+  std::size_t iterations = 100;
+  std::size_t s = 1;   ///< straggler tolerance, re-used for every epoch
+  std::size_t k = 0;   ///< partitions; 0 = 2 × active workers, per epoch
+  /// Base conditions the script composes onto (fluctuation, iid
+  /// stragglers); default = clean rounds.
+  StragglerModel model;
+  SimParams sim;
+  std::uint64_t seed = 42;
+  /// Decoding-coefficient LRU capacity; 0 = solve every round.
+  std::size_t decoding_cache_capacity = 0;
+};
+
+/// Outcome of a script run.
+struct ScriptResult {
+  std::string scheme;
+  std::size_t iterations_run = 0;
+  std::size_t failures = 0;          ///< undecodable rounds
+  std::size_t reinstantiations = 0;  ///< scheme rebuilds after churn
+  std::size_t bursts_started = 0;    ///< correlated bursts that fired
+  double total_time = 0.0;
+  RunningStats iteration_time;
+  ReservoirQuantiles latency{1024};  ///< p50/p95/p99 round latency
+  /// Active worker count per membership epoch, initial epoch first.
+  std::vector<std::size_t> epoch_sizes;
+  /// Decoding-cache traffic summed over epochs (0/0 when disabled).
+  std::size_t decode_hits = 0;
+  std::size_t decode_misses = 0;
+};
+
+/// Run `kind` on `initial` under `script`. Time-keyed effects (drift
+/// windows, burst expiry, churn) follow the virtual clock; an undecodable
+/// round advances it by the epoch's ideal iteration time (the master's
+/// give-up timeout) so a faulting burst cannot freeze the clock and pin the
+/// run inside its own window. All randomness (base model, burst starts)
+/// derives from config.seed, so runs are deterministic.
+ScriptResult run_script_scenario(SchemeKind kind, const Cluster& initial,
+                                 const ScenarioScript& script,
+                                 const ScriptConfig& config);
 
 }  // namespace hgc::engine

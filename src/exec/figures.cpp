@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -11,6 +13,7 @@
 #include "net/network.hpp"
 #include "runtime/sim_trainer.hpp"
 #include "runtime/ssp_trainer.hpp"
+#include "scenario/dsl.hpp"
 #include "sim/adaptive.hpp"
 #include "sim/iteration.hpp"
 #include "sim/layerwise.hpp"
@@ -548,20 +551,45 @@ std::vector<double> parse_doubles(const std::string& text) {
   return out;
 }
 
-std::vector<std::uint64_t> parse_seed_list(const std::string& text) {
+/// Non-negative integral value for grid key `key`. A plain static_cast here
+/// used to truncate `s=1.5` to 1 and wrap `s=-1` / `k=-2` / `iters=-5` to
+/// huge size_t values — both silently.
+std::size_t parse_size(const std::string& key, const std::string& text) {
+  double v = std::numeric_limits<double>::quiet_NaN();
+  try {
+    v = parse_double(text);
+  } catch (const std::exception&) {
+    // fall through to the named error below
+  }
+  if (!(v >= 0.0) || v != std::floor(v) ||
+      v > 9007199254740992.0 /* 2^53 */)
+    throw std::invalid_argument("grid spec key '" + key +
+                                "' wants a non-negative integer, got: " +
+                                text);
+  return static_cast<std::size_t>(v);
+}
+
+std::vector<std::size_t> parse_sizes(const std::string& key,
+                                     const std::string& text) {
+  std::vector<std::size_t> out;
+  for (const std::string& part : split(text, ','))
+    out.push_back(parse_size(key, part));
+  return out;
+}
+
+std::vector<std::uint64_t> parse_seed_list(const std::string& key,
+                                           const std::string& text) {
   std::vector<std::uint64_t> out;
   for (const std::string& part : split(text, ',')) {
     const std::size_t dots = part.find("..");
     if (dots != std::string::npos) {
-      const auto lo = static_cast<std::uint64_t>(
-          parse_double(part.substr(0, dots)));
-      const auto hi = static_cast<std::uint64_t>(
-          parse_double(part.substr(dots + 2)));
+      const auto lo = parse_size(key, part.substr(0, dots));
+      const auto hi = parse_size(key, part.substr(dots + 2));
       HGC_REQUIRE(lo <= hi, "seed range must be lo..hi");
       for (std::uint64_t seed = lo; seed <= hi; ++seed)
         out.push_back(seed);
     } else {
-      out.push_back(static_cast<std::uint64_t>(parse_double(part)));
+      out.push_back(parse_size(key, part));
     }
   }
   return out;
@@ -588,6 +616,7 @@ SweepGrid parse_grid_spec(const std::string& spec) {
   std::size_t stragglers = kMatchS;
   bool any_model_key = false;
   std::vector<std::string> scenario_names;
+  std::vector<std::string> scenario_files;
   std::string trace_path;
 
   for (const std::string& entry : split(spec, ';')) {
@@ -607,24 +636,18 @@ SweepGrid parse_grid_spec(const std::string& spec) {
       for (const std::string& name : split(value, ','))
         grid.schemes.push_back(parse_scheme_kind(name));
     } else if (key == "s") {
-      grid.s_values.clear();
-      for (double v : parse_doubles(value))
-        grid.s_values.push_back(static_cast<std::size_t>(v));
+      grid.s_values = parse_sizes(key, value);
     } else if (key == "k") {
-      grid.k_values.clear();
-      for (double v : parse_doubles(value))
-        grid.k_values.push_back(static_cast<std::size_t>(v));
+      grid.k_values = parse_sizes(key, value);
     } else if (key == "sigmas" || key == "sigma") {
       grid.sigmas = parse_doubles(value);
     } else if (key == "seeds" || key == "seed") {
-      grid.seeds = parse_seed_list(value);
+      grid.seeds = parse_seed_list(key, value);
     } else if (key == "iters" || key == "iterations") {
-      grid.iterations = static_cast<std::size_t>(parse_double(value));
+      grid.iterations = parse_size(key, value);
     } else if (key == "stragglers") {
       any_model_key = true;
-      stragglers = value == "s" ? kMatchS
-                                : static_cast<std::size_t>(
-                                      parse_double(value));
+      stragglers = value == "s" ? kMatchS : parse_size(key, value);
     } else if (key == "delay_factors" || key == "delay_factor") {
       any_model_key = true;
       delay_factors = parse_doubles(value);
@@ -641,6 +664,11 @@ SweepGrid parse_grid_spec(const std::string& spec) {
       grid.sim.comm_latency = parse_double(value);
     } else if (key == "scenarios" || key == "scenario") {
       scenario_names = split(value, ',');
+    } else if (key == "scenario_file" || key == "scenario_files") {
+      // Accumulates across repeats of the key: each file is one more point
+      // on the scenario axis.
+      for (const std::string& path : split(value, ','))
+        scenario_files.push_back(path);
     } else if (key == "trace") {
       trace_path = value;
     } else {
@@ -689,6 +717,31 @@ SweepGrid parse_grid_spec(const std::string& spec) {
     if (engine_scenarios && grid.clusters.size() > 1)
       throw std::invalid_argument(
           "churn/trace scenarios support a single cluster per grid spec");
+    const bool names_trace =
+        std::find(scenario_names.begin(), scenario_names.end(), "trace") !=
+        scenario_names.end();
+    // A trace= path is only consumed by the 'trace' scenario; dropping it
+    // on the floor would replay the demo schedule while the operator
+    // believes their recorded file is driving the run.
+    if (!trace_path.empty() && !names_trace)
+      throw std::invalid_argument(
+          "trace=" + trace_path +
+          " has no effect: the scenarios= list does not include 'trace'");
+    // The demo churn schedule and the demo trace are derived from a single
+    // s value (their horizon/delays scale with ideal_iteration_time); a
+    // multi-s grid would silently replay the first s's schedule in every
+    // other s's cells.
+    const bool demo_schedule =
+        std::find(scenario_names.begin(), scenario_names.end(), "churn") !=
+            scenario_names.end() ||
+        (names_trace && trace_path.empty());
+    if (demo_schedule && grid.s_values.size() > 1)
+      throw std::invalid_argument(
+          "scenarios=churn/trace builds its demo schedule from one s "
+          "value, but the grid has " +
+          std::to_string(grid.s_values.size()) +
+          " — use a single s, point trace= at a recorded file, or author "
+          "the scenario as a scenario_file=");
     grid.scenarios.clear();
     for (const std::string& name : scenario_names) {
       ScenarioSpec scenario;
@@ -712,6 +765,12 @@ SweepGrid parse_grid_spec(const std::string& spec) {
       grid.scenarios.push_back(std::move(scenario));
     }
   } else if (!trace_path.empty()) {
+    if (!scenario_files.empty())
+      throw std::invalid_argument(
+          "trace=" + trace_path +
+          " has no effect: the scenario axis comes from scenario_file=; "
+          "add scenarios=trace or splice the trace inside the scenario "
+          "file");
     if (grid.clusters.size() > 1)
       throw std::invalid_argument(
           "trace replay supports a single cluster per grid spec");
@@ -722,7 +781,40 @@ SweepGrid parse_grid_spec(const std::string& spec) {
     grid.scenarios = {std::move(scenario)};
   }
 
+  append_scenario_files(grid, scenario_files,
+                        /*axis_is_explicit=*/!scenario_names.empty());
   return grid;
+}
+
+ScenarioSpec load_scenario_spec(const std::string& path) {
+  ScenarioSpec spec;
+  spec.name = scenario::scenario_name(path);
+  spec.kind = ScenarioKind::kScript;
+  spec.script = scenario::load_scenario_file(path);
+  return spec;
+}
+
+void append_scenario_files(SweepGrid& grid,
+                           const std::vector<std::string>& paths,
+                           bool axis_is_explicit) {
+  if (paths.empty()) return;
+  if (grid.clusters.size() > 1)
+    throw std::invalid_argument(
+        "scenario files support a single cluster per grid (each declares "
+        "one worker count)");
+  if (!axis_is_explicit && grid.scenarios.size() == 1 &&
+      grid.scenarios.front().kind == ScenarioKind::kStatic &&
+      grid.scenarios.front().name == "static")
+    grid.scenarios.clear();
+  for (const std::string& path : paths) {
+    ScenarioSpec spec = load_scenario_spec(path);
+    if (spec.script.workers != grid.clusters.front().size())
+      throw std::invalid_argument(
+          path + " declares " + std::to_string(spec.script.workers) +
+          " workers but " + grid.clusters.front().name() + " has " +
+          std::to_string(grid.clusters.front().size()));
+    grid.scenarios.push_back(std::move(spec));
+  }
 }
 
 }  // namespace hgc::exec

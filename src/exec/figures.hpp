@@ -111,8 +111,27 @@ FigureSweep make_figure(const std::string& name, std::size_t iterations = 0);
 /// (naive|cyclic|fractional|heter|group), s, k, sigmas, seeds (list or
 /// a..b), iters, stragglers (count or "s"), delay_factors (× ideal),
 /// delays (seconds), fault (0/1), fluct, latency, scenarios
-/// (static|churn|trace), trace (CSV path for the trace scenario).
-/// Unknown keys throw std::invalid_argument.
+/// (static|churn|trace), trace (CSV path for the trace scenario),
+/// scenario_file (DSL files, comma-separated and accumulating across
+/// repeats of the key; each file is one point on the scenario axis).
+/// Unknown keys, non-integral counts (s=1.5, k=-2), a trace= that no
+/// scenario consumes, and multi-s grids over the s-derived demo
+/// churn/trace schedules all throw std::invalid_argument.
 SweepGrid parse_grid_spec(const std::string& spec);
+
+/// Load a scenario DSL file (scenario/dsl.hpp) into one scenario-axis
+/// point named after the file's stem.
+ScenarioSpec load_scenario_spec(const std::string& path);
+
+/// Append DSL scenario files to the grid's scenario axis. When
+/// `axis_is_explicit` is false and the axis is the lone default static
+/// point, the files replace it (that point is a placeholder, not an
+/// operator choice); an explicit axis is kept and the files append after
+/// it. Validates that the grid has a single cluster and that each file's
+/// declared worker count matches it. Used by parse_grid_spec
+/// (scenario_file=) and hgc_sweep (--scenario-file with a preset grid).
+void append_scenario_files(SweepGrid& grid,
+                           const std::vector<std::string>& paths,
+                           bool axis_is_explicit = false);
 
 }  // namespace hgc::exec

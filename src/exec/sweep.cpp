@@ -215,6 +215,32 @@ CellResult run_churn_cell(const Cell& cell, const ScenarioSpec& scenario,
   return result;
 }
 
+CellResult run_script_cell(const Cell& cell, const ScenarioSpec& scenario,
+                           const SweepOptions& opts) {
+  engine::ScriptConfig config;
+  config.iterations = cell.experiment.iterations;
+  config.s = cell.experiment.s;
+  config.k = cell.experiment.k;
+  config.model = cell.experiment.model;
+  config.sim = cell.experiment.sim;
+  config.seed = cell.experiment.seed;
+  config.decoding_cache_capacity = opts.decoding_cache_capacity;
+  const engine::ScriptResult run = engine::run_script_scenario(
+      cell.scheme, *cell.cluster, scenario.script, config);
+  record_decode_traffic(opts, run.decode_hits, run.decode_misses);
+  CellResult result;
+  result.stats.emplace_back("time", run.iteration_time);
+  result.quantiles.emplace_back("latency", run.latency);
+  result.metrics.emplace_back("failures",
+                              static_cast<double>(run.failures));
+  result.metrics.emplace_back("reinstantiations",
+                              static_cast<double>(run.reinstantiations));
+  result.metrics.emplace_back("bursts",
+                              static_cast<double>(run.bursts_started));
+  result.metrics.emplace_back("total_time", run.total_time);
+  return result;
+}
+
 CellResult run_trace_cell(const Cell& cell, const ScenarioSpec& scenario,
                           const SweepOptions& opts) {
   engine::TraceReplayConfig config;
@@ -280,6 +306,8 @@ ResultTable run_sweep(const SweepGrid& grid, const SweepOptions& opts) {
         return run_churn_cell(cell, scenario, opts);
       case ScenarioKind::kTraceReplay:
         return run_trace_cell(cell, scenario, opts);
+      case ScenarioKind::kScript:
+        return run_script_cell(cell, scenario, opts);
       case ScenarioKind::kStatic:
         break;
     }

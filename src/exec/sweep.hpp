@@ -59,7 +59,7 @@ struct StragglerAxis {
 
 /// What a cell runs: the analytic experiment harness or one of the engine's
 /// scenario drivers.
-enum class ScenarioKind { kStatic, kChurn, kTraceReplay };
+enum class ScenarioKind { kStatic, kChurn, kTraceReplay, kScript };
 
 /// One point on the scenario axis.
 struct ScenarioSpec {
@@ -70,6 +70,10 @@ struct ScenarioSpec {
   /// kTraceReplay: recorded per-worker delays (columns must match the
   /// cluster the cell runs on).
   engine::DelayTrace trace;
+  /// kScript: a compiled operator-authored scenario (churn + drift +
+  /// correlated bursts + trace splice), usually from a DSL file. Its
+  /// declared worker count must match the cluster the cell runs on.
+  engine::ScenarioScript script;
 };
 
 /// A caller-defined numeric axis, exposed to custom cell functions (message
@@ -175,7 +179,10 @@ ResultTable run_sweep(const SweepGrid& grid, const CellFn& fn,
 /// scenario: kStatic → sim/experiment (stats: time, usage; "fail" note when
 /// any iteration was undecodable), kChurn → engine churn driver (stats:
 /// time; quantiles: latency; metrics: reinstantiations, failures),
-/// kTraceReplay → engine trace replay (stats: time; quantiles: latency).
+/// kTraceReplay → engine trace replay (stats: time; quantiles: latency),
+/// kScript → engine script driver (adds a bursts metric; the cell's
+/// straggler-model axis supplies the base conditions the script composes
+/// onto).
 ResultTable run_sweep(const SweepGrid& grid, const SweepOptions& opts = {});
 
 }  // namespace hgc::exec

@@ -1,0 +1,551 @@
+#include "scenario/dsl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "engine/delay_trace.hpp"
+#include "util/error.hpp"
+
+namespace hgc::scenario {
+namespace {
+
+// --- Lexer ---------------------------------------------------------------
+
+struct Token {
+  enum Kind { kWord, kNumber, kSymbol };
+  Kind kind;
+  std::string text;
+  double number = 0.0;
+};
+
+bool is_word_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_number_start(const std::string& line, std::size_t i) {
+  const char c = line[i];
+  if (std::isdigit(static_cast<unsigned char>(c))) return true;
+  if ((c == '-' || c == '+' || c == '.') && i + 1 < line.size())
+    return std::isdigit(static_cast<unsigned char>(line[i + 1]));
+  return false;
+}
+
+/// Tokenize one line (comment already stripped). `fail` reports with the
+/// line's location.
+template <typename Fail>
+std::vector<Token> tokenize(const std::string& line, const Fail& fail) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t') {
+      ++i;
+    } else if (line.compare(i, 2, "->") == 0) {
+      tokens.push_back({Token::kSymbol, "->"});
+      i += 2;
+    } else if (line.compare(i, 2, "..") == 0) {
+      tokens.push_back({Token::kSymbol, ".."});
+      i += 2;
+    } else if (c == '{' || c == '}' || c == ',' || c == '@' || c == '[' ||
+               c == ']' || c == '=') {
+      tokens.push_back({Token::kSymbol, std::string(1, c)});
+      ++i;
+    } else if (is_number_start(line, i)) {
+      // Scan a number, stopping before a ".." range separator.
+      std::size_t j = i;
+      if (line[j] == '-' || line[j] == '+') ++j;
+      bool seen_dot = false, seen_exp = false;
+      while (j < line.size()) {
+        const char d = line[j];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++j;
+        } else if (d == '.' && !seen_dot && !seen_exp &&
+                   line.compare(j, 2, "..") != 0) {
+          seen_dot = true;
+          ++j;
+        } else if ((d == 'e' || d == 'E') && !seen_exp &&
+                   j + 1 < line.size() &&
+                   (std::isdigit(static_cast<unsigned char>(line[j + 1])) ||
+                    ((line[j + 1] == '-' || line[j + 1] == '+') &&
+                     j + 2 < line.size() &&
+                     std::isdigit(
+                         static_cast<unsigned char>(line[j + 2]))))) {
+          seen_exp = true;
+          j += 2;
+        } else {
+          break;
+        }
+      }
+      const std::string text = line.substr(i, j - i);
+      // A digit blob running straight into letters or another '.' is a
+      // typo ("1.2.3", "12abc"), not two adjacent tokens.
+      if (j < line.size() &&
+          (is_word_char(line[j]) ||
+           (line[j] == '.' && line.compare(j, 2, "..") != 0)))
+        fail("malformed number '" + line.substr(i, j - i + 1) + "...'");
+      try {
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
+        if (used != text.size()) throw std::invalid_argument(text);
+        tokens.push_back({Token::kNumber, text, value});
+      } catch (const std::exception&) {
+        fail("malformed number '" + text + "'");
+      }
+      i = j;
+    } else if (is_word_start(c)) {
+      std::size_t j = i + 1;
+      while (j < line.size() && is_word_char(line[j])) ++j;
+      tokens.push_back({Token::kWord, line.substr(i, j - i)});
+      i = j;
+    } else {
+      fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+  return tokens;
+}
+
+// --- Statement cursor ----------------------------------------------------
+
+/// Sequential reader over one line's tokens with located diagnostics.
+class Cursor {
+ public:
+  Cursor(const std::vector<Token>& tokens, const std::string& source,
+         std::size_t line)
+      : tokens_(tokens), source_(source), line_(line) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(source_, line_, message);
+  }
+
+  bool done() const { return i_ >= tokens_.size(); }
+
+  /// True (and consumes) when the next token is the word `text`.
+  bool accept_word(const std::string& text) {
+    if (done() || tokens_[i_].kind != Token::kWord ||
+        tokens_[i_].text != text)
+      return false;
+    ++i_;
+    return true;
+  }
+
+  /// True (and consumes) when the next token is the symbol `text`.
+  bool accept_symbol(const std::string& text) {
+    if (done() || tokens_[i_].kind != Token::kSymbol ||
+        tokens_[i_].text != text)
+      return false;
+    ++i_;
+    return true;
+  }
+
+  std::string expect_word(const std::string& what) {
+    if (done() || tokens_[i_].kind != Token::kWord)
+      fail("expected " + what + describe_here());
+    return tokens_[i_++].text;
+  }
+
+  void expect_symbol(const std::string& text) {
+    if (!accept_symbol(text))
+      fail("expected '" + text + "'" + describe_here());
+  }
+
+  double expect_number(const std::string& what) {
+    if (done() || tokens_[i_].kind != Token::kNumber)
+      fail("expected " + what + describe_here());
+    return tokens_[i_++].number;
+  }
+
+  /// A non-negative integer (worker id, count, row index). The range
+  /// check comes before the cast: converting an out-of-range double to
+  /// size_t is undefined behaviour, not just a wrong value.
+  std::size_t expect_index(const std::string& what) {
+    const double v = expect_number(what);
+    if (!(v >= 0.0) || v > 9007199254740992.0 /* 2^53 */ ||
+        v != std::floor(v))
+      fail(what + " must be a non-negative integer");
+    return static_cast<std::size_t>(v);
+  }
+
+  void expect_end() {
+    if (!done())
+      fail("unexpected '" + tokens_[i_].text + "' after the statement");
+  }
+
+ private:
+  std::string describe_here() const {
+    if (done()) return " at end of line";
+    return ", got '" + tokens_[i_].text + "'";
+  }
+
+  const std::vector<Token>& tokens_;
+  std::size_t i_ = 0;
+  const std::string& source_;
+  std::size_t line_;
+};
+
+// --- Located statement records ------------------------------------------
+
+struct LocatedChurn {
+  engine::ChurnEvent event;
+  std::size_t line;
+};
+
+struct LocatedDrift {
+  engine::DriftWindow window;
+  std::size_t line;
+};
+
+struct LocatedBurst {
+  engine::CorrelatedStragglers burst;
+  std::size_t line;
+};
+
+std::string trimmed_of_comment(const std::string& raw) {
+  std::string line = raw;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::size_t hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  return line;
+}
+
+std::vector<std::string> whitespace_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream in(line);
+  std::string field;
+  while (in >> field) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+engine::ScenarioScript parse_scenario(std::istream& in,
+                                      const std::string& source,
+                                      const std::string& base_dir) {
+  engine::ScenarioScript script;
+  bool saw_workers = false;
+  std::vector<LocatedChurn> churn;
+  std::vector<LocatedDrift> drifts;
+  std::vector<LocatedBurst> bursts;
+  std::size_t splice_line = 0;  // 0 = no splice statement yet
+  std::size_t repeat_line = 0;  // 0 = no repeat statement yet
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trimmed_of_comment(raw);
+    const std::vector<std::string> fields = whitespace_fields(line);
+    if (fields.empty()) continue;
+
+    const auto fail = [&](const std::string& message) -> void {
+      throw ParseError(source, line_no, message);
+    };
+
+    if (!saw_workers && fields[0] != "workers")
+      fail("the first statement must declare 'workers <count>'");
+
+    // `splice trace <path>` carries a filesystem path, which the token
+    // grammar (words, numbers, punctuation) cannot spell — parse it from
+    // the raw whitespace fields instead.
+    if (fields[0] == "splice") {
+      if (splice_line != 0)
+        fail("duplicate splice statement (first on line " +
+             std::to_string(splice_line) + ")");
+      if (fields.size() < 3 || fields[1] != "trace")
+        fail("splice wants: splice trace <path> [rows <a>..<b>]");
+      const std::string& path_text = fields[2];
+      std::size_t row_lo = 0;
+      std::size_t row_hi = static_cast<std::size_t>(-1);
+      if (fields.size() == 5 && fields[3] == "rows") {
+        const std::size_t dots = fields[4].find("..");
+        if (dots == std::string::npos)
+          fail("splice row range must be <a>..<b>");
+        const std::vector<Token> range = tokenize(
+            fields[4].substr(0, dots) + " " + fields[4].substr(dots + 2),
+            fail);
+        Cursor cursor(range, source, line_no);
+        row_lo = cursor.expect_index("splice row");
+        row_hi = cursor.expect_index("splice row");
+        cursor.expect_end();
+        if (row_lo > row_hi) fail("splice row range must be lo..hi");
+      } else if (fields.size() != 3) {
+        fail("splice wants: splice trace <path> [rows <a>..<b>]");
+      }
+
+      std::filesystem::path path(path_text);
+      if (path.is_relative() && !base_dir.empty())
+        path = std::filesystem::path(base_dir) / path;
+      engine::DelayTrace full;
+      try {
+        full = engine::load_delay_trace_csv(path.string());
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+      if (row_hi == static_cast<std::size_t>(-1))
+        row_hi = full.num_iterations() - 1;
+      if (row_hi >= full.num_iterations())
+        fail("splice row range " + std::to_string(row_lo) + ".." +
+             std::to_string(row_hi) + " exceeds the trace (" +
+             std::to_string(full.num_iterations()) + " rows)");
+      std::vector<std::vector<double>> rows(
+          full.rows().begin() + static_cast<std::ptrdiff_t>(row_lo),
+          full.rows().begin() + static_cast<std::ptrdiff_t>(row_hi) + 1);
+      script.splice = engine::DelayTrace(std::move(rows));
+      splice_line = line_no;
+      continue;
+    }
+
+    const std::vector<Token> tokens = tokenize(line, fail);
+    Cursor cursor(tokens, source, line_no);
+    const std::string keyword = cursor.expect_word("a statement keyword");
+
+    if (keyword == "workers") {
+      if (saw_workers) fail("duplicate 'workers' declaration");
+      script.workers = cursor.expect_index("worker count");
+      cursor.expect_end();
+      if (script.workers == 0) fail("a scenario needs at least one worker");
+      saw_workers = true;
+    } else if (keyword == "churn") {
+      engine::ChurnEvent event;
+      if (cursor.accept_word("leave")) {
+        event.join = false;
+        event.worker = cursor.expect_index("the leaving worker id");
+        cursor.expect_symbol("@");
+      } else if (cursor.accept_word("join")) {
+        event.join = true;
+        bool saw_vcpus = false, saw_throughput = false;
+        // The attribute loop consumes the '@' that ends it.
+        while (!cursor.accept_symbol("@")) {
+          const std::string attr = cursor.expect_word("'@ <time>'");
+          cursor.expect_symbol("=");
+          if (attr == "vcpus" && !saw_vcpus) {
+            const std::size_t vcpus = cursor.expect_index("vcpus");
+            if (vcpus == 0) fail("vcpus must be at least 1");
+            event.spec.vcpus = static_cast<unsigned>(vcpus);
+            saw_vcpus = true;
+          } else if (attr == "throughput" && !saw_throughput) {
+            event.spec.throughput = cursor.expect_number("throughput");
+            if (event.spec.throughput <= 0.0)
+              fail("throughput must be positive");
+            saw_throughput = true;
+          } else {
+            fail("unknown churn join attribute '" + attr + "'");
+          }
+        }
+        // Mirror Cluster::from_vcpu_histogram's convention: 1.0 per vCPU
+        // unless the statement says otherwise.
+        if (!saw_throughput)
+          event.spec.throughput = static_cast<double>(event.spec.vcpus);
+      } else {
+        fail("churn wants 'leave' or 'join'");
+      }
+      event.time = cursor.expect_number("the event time");
+      cursor.expect_end();
+      if (event.time < 0.0) fail("churn time must be non-negative");
+      churn.push_back({event, line_no});
+    } else if (keyword == "drift") {
+      engine::DriftWindow window;
+      window.worker = cursor.expect_index("the drifting worker id");
+      if (!cursor.accept_word("speed"))
+        fail("drift wants: drift <worker> speed <a> -> <b> over [<t0>, "
+             "<t1>]");
+      window.from = cursor.expect_number("the starting speed factor");
+      cursor.expect_symbol("->");
+      window.to = cursor.expect_number("the ending speed factor");
+      if (!cursor.accept_word("over"))
+        fail("drift wants 'over [<t0>, <t1>]' after the speed ramp");
+      cursor.expect_symbol("[");
+      window.t0 = cursor.expect_number("the window start time");
+      cursor.expect_symbol(",");
+      window.t1 = cursor.expect_number("the window end time");
+      cursor.expect_symbol("]");
+      cursor.expect_end();
+      if (window.from <= 0.0 || window.to <= 0.0)
+        fail("drift speed factors must be positive");
+      if (window.t0 < 0.0) fail("drift window start must be non-negative");
+      if (window.t1 <= window.t0)
+        fail("drift window is empty: t1 must exceed t0");
+      drifts.push_back({window, line_no});
+    } else if (keyword == "correlated") {
+      if (!cursor.accept_word("stragglers"))
+        fail("correlated wants: correlated stragglers {<ids>} p=<prob> "
+             "dur=<sec> (delay=<sec> | fault)");
+      engine::CorrelatedStragglers burst;
+      cursor.expect_symbol("{");
+      do {
+        const std::size_t id = cursor.expect_index("a worker id");
+        if (std::find(burst.workers.begin(), burst.workers.end(), id) !=
+            burst.workers.end())
+          fail("duplicate worker " + std::to_string(id) +
+               " in straggler set");
+        burst.workers.push_back(id);
+      } while (cursor.accept_symbol(","));
+      cursor.expect_symbol("}");
+      bool saw_p = false, saw_dur = false, saw_delay = false;
+      while (!cursor.done()) {
+        const std::string attr = cursor.expect_word("an attribute");
+        if (attr == "fault") {
+          if (burst.fault) fail("duplicate 'fault'");
+          burst.fault = true;
+          continue;
+        }
+        cursor.expect_symbol("=");
+        if (attr == "p" && !saw_p) {
+          burst.probability = cursor.expect_number("p");
+          saw_p = true;
+        } else if (attr == "dur" && !saw_dur) {
+          burst.duration = cursor.expect_number("dur");
+          saw_dur = true;
+        } else if (attr == "delay" && !saw_delay) {
+          burst.delay = cursor.expect_number("delay");
+          saw_delay = true;
+        } else {
+          fail("unknown correlated-straggler attribute '" + attr + "'");
+        }
+      }
+      if (!saw_p)
+        fail("correlated stragglers need p=<probability>");
+      if (burst.probability <= 0.0 || burst.probability > 1.0)
+        fail("p must be in (0, 1]");
+      if (!saw_dur) fail("correlated stragglers need dur=<seconds>");
+      if (burst.duration <= 0.0) fail("dur must be positive");
+      if (burst.fault && saw_delay)
+        fail("give either delay=<seconds> or fault, not both");
+      if (!burst.fault && (!saw_delay || burst.delay <= 0.0))
+        fail("correlated stragglers need delay=<seconds> or fault");
+      bursts.push_back({std::move(burst), line_no});
+    } else if (keyword == "repeat") {
+      if (repeat_line != 0)
+        fail("duplicate repeat statement (first on line " +
+             std::to_string(repeat_line) + ")");
+      if (cursor.accept_word("forever")) {
+        script.splice_repeat = 0;
+      } else {
+        script.splice_repeat = cursor.expect_index("the repeat count");
+        if (script.splice_repeat == 0)
+          fail("repeat count must be at least 1 (or 'forever')");
+      }
+      cursor.expect_end();
+      repeat_line = line_no;
+    } else {
+      fail("unknown statement '" + keyword + "'");
+    }
+  }
+
+  if (!saw_workers)
+    throw ParseError(source, std::max<std::size_t>(line_no, 1),
+                     "scenario is empty: declare 'workers <count>' first");
+
+  // --- Whole-program validation ------------------------------------------
+
+  // Churn statements must already be in time order (the engine applies them
+  // as written; silently re-sorting would hide schedule typos).
+  for (std::size_t i = 1; i < churn.size(); ++i)
+    if (churn[i].event.time < churn[i - 1].event.time)
+      throw ParseError(source, churn[i].line,
+                       "churn events must be in non-decreasing time order");
+
+  // Walk the schedule to know which stable ids are alive when each leave
+  // fires, and how many ids ever exist.
+  std::set<std::size_t> alive;
+  for (std::size_t id = 0; id < script.workers; ++id) alive.insert(id);
+  std::size_t next_id = script.workers;
+  for (const LocatedChurn& entry : churn) {
+    if (entry.event.join) {
+      alive.insert(next_id++);
+    } else if (alive.count(entry.event.worker) == 0) {
+      const bool never = entry.event.worker >= next_id;
+      throw ParseError(
+          source, entry.line,
+          "unknown worker " + std::to_string(entry.event.worker) +
+              (never ? ": only ids 0.." + std::to_string(next_id - 1) +
+                           " exist here"
+                     : ": it has already left"));
+    } else {
+      alive.erase(entry.event.worker);
+    }
+  }
+  const std::size_t total_ids = next_id;
+
+  const auto check_id = [&](std::size_t worker, std::size_t line,
+                            const std::string& where) {
+    if (worker >= total_ids)
+      throw ParseError(source, line,
+                       "unknown worker " + std::to_string(worker) + " in " +
+                           where + ": only ids 0.." +
+                           std::to_string(total_ids - 1) + " ever exist");
+  };
+  for (const LocatedDrift& entry : drifts)
+    check_id(entry.window.worker, entry.line, "drift");
+  for (const LocatedBurst& entry : bursts)
+    for (std::size_t id : entry.burst.workers)
+      check_id(id, entry.line, "the straggler set");
+
+  // A worker's speed factor must come from at most one ramp at any time.
+  std::map<std::size_t, std::vector<const LocatedDrift*>> by_worker;
+  for (const LocatedDrift& entry : drifts)
+    by_worker[entry.window.worker].push_back(&entry);
+  for (auto& [worker, windows] : by_worker) {
+    std::sort(windows.begin(), windows.end(),
+              [](const LocatedDrift* a, const LocatedDrift* b) {
+                return a->window.t0 < b->window.t0;
+              });
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+      const engine::DriftWindow& prev = windows[i - 1]->window;
+      const engine::DriftWindow& next = windows[i]->window;
+      if (next.t0 < prev.t1) {
+        std::ostringstream os;
+        os << "drift windows for worker " << worker << " overlap (["
+           << prev.t0 << ", " << prev.t1 << "] and [" << next.t0 << ", "
+           << next.t1 << "])";
+        throw ParseError(
+            source, std::max(windows[i - 1]->line, windows[i]->line),
+            os.str());
+      }
+    }
+  }
+
+  if (splice_line != 0 &&
+      script.splice.num_workers() != script.workers)
+    throw ParseError(source, splice_line,
+                     "spliced trace has " +
+                         std::to_string(script.splice.num_workers()) +
+                         " columns but the scenario declares " +
+                         std::to_string(script.workers) + " workers");
+  if (repeat_line != 0 && splice_line == 0)
+    throw ParseError(source, repeat_line,
+                     "repeat needs a 'splice trace' statement to repeat");
+
+  script.churn.reserve(churn.size());
+  for (LocatedChurn& entry : churn) script.churn.push_back(entry.event);
+  script.drifts.reserve(drifts.size());
+  for (LocatedDrift& entry : drifts) script.drifts.push_back(entry.window);
+  script.bursts.reserve(bursts.size());
+  for (LocatedBurst& entry : bursts)
+    script.bursts.push_back(std::move(entry.burst));
+  return script;
+}
+
+engine::ScenarioScript load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  HGC_REQUIRE(in.good(), "cannot open scenario file: " + path);
+  return parse_scenario(in, path,
+                        std::filesystem::path(path).parent_path().string());
+}
+
+std::string scenario_name(const std::string& path) {
+  return std::filesystem::path(path).stem().string();
+}
+
+}  // namespace hgc::scenario

@@ -1,0 +1,80 @@
+// Operator-authored scenario DSL.
+//
+// The sweep's scenario axis used to offer exactly three hard-coded points
+// (static, a demo churn schedule, a demo delay trace); any other failure
+// narrative meant editing C++. This parser turns a small line-oriented text
+// format into an engine::ScenarioScript, so churn, drift, correlated
+// straggler bursts and trace splices are authored as data and gridded over
+// with `hgc_sweep --grid "...;scenario_file=..."` — no recompile.
+//
+// One statement per line; `#` starts a comment; blank lines are skipped.
+// Times are virtual seconds on the engine clock, worker ids are stable
+// roster ids (the initial cluster is 0..m-1, every join allocates the next
+// id). The grammar:
+//
+//   workers <m>                      # required first statement; must match
+//                                    # the cluster the grid runs the file on
+//   churn leave <id> @ <t>           # events must be in time order
+//   churn join [vcpus=<n>] [throughput=<x>] @ <t>
+//                                    # throughput defaults to 1.0 per vCPU
+//   drift <id> speed <a> -> <b> over [<t0>, <t1>]
+//                                    # linear speed-factor ramp; a before
+//                                    # t0, b after t1
+//   correlated stragglers {<id>, <id>, ...} p=<prob> dur=<sec>
+//       (delay=<sec> | fault)        # one statement = one burst process
+//   splice trace <path> [rows <a>..<b>]
+//                                    # per-iteration base delays; relative
+//                                    # paths resolve against the .scn file
+//   repeat (<n> | forever)           # passes over the spliced rows
+//                                    # (default 1; forever wraps)
+//
+// Every diagnostic carries the offending line number. Validation catches
+// what a static pass can: unknown statement keywords, unsorted churn times,
+// workers that never exist (or have already left) at the moment an effect
+// names them, overlapping drift windows, malformed numbers and ranges.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "engine/scenario.hpp"
+
+namespace hgc::scenario {
+
+/// A syntax or validation error in a scenario file, pointing at the
+/// offending line. what() reads "<source>:<line>: <message>".
+class ParseError : public std::invalid_argument {
+ public:
+  ParseError(const std::string& source, std::size_t line,
+             const std::string& message)
+      : std::invalid_argument(source + ":" + std::to_string(line) + ": " +
+                              message),
+        line_(line) {}
+
+  /// 1-based line number the error points at.
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse and validate a scenario program. `source` names the input in
+/// diagnostics; relative `splice trace` paths resolve against `base_dir`
+/// (empty = the process working directory). Throws ParseError.
+engine::ScenarioScript parse_scenario(std::istream& in,
+                                      const std::string& source = "<scenario>",
+                                      const std::string& base_dir = "");
+
+/// Load a scenario file; splice paths resolve relative to the file's
+/// directory. Throws std::invalid_argument when the file cannot be opened
+/// and ParseError on bad content.
+engine::ScenarioScript load_scenario_file(const std::string& path);
+
+/// Display name of a scenario file: the basename without its extension
+/// ("examples/churn_drift.scn" → "churn_drift"). Used as the value on the
+/// sweep's scenario axis.
+std::string scenario_name(const std::string& path);
+
+}  // namespace hgc::scenario

@@ -23,10 +23,12 @@ Args::Args(std::span<const std::string> tokens) {
     const auto eq = token.find('=');
     if (eq != std::string::npos) {
       values_[token.substr(0, eq)] = token.substr(eq + 1);
+      lists_[token.substr(0, eq)].push_back(token.substr(eq + 1));
       bare_flags_.erase(token.substr(0, eq));
     } else if (i + 1 < tokens.size() &&
                tokens[i + 1].rfind("--", 0) != 0) {
       values_[token] = tokens[++i];
+      lists_[token].push_back(tokens[i]);
       bare_flags_.erase(token);
     } else {
       // Bare flag: remember it as such so a value-typed read of this key
@@ -98,6 +100,13 @@ bool Args::get_bool(const std::string& key, bool fallback) const {
   if (raw == "true" || raw == "1" || raw == "yes") return true;
   if (raw == "false" || raw == "0" || raw == "no") return false;
   throw std::invalid_argument("not a boolean: --" + key + "=" + raw);
+}
+
+std::vector<std::string> Args::get_list(const std::string& key) const {
+  // find_value enforces the bare-flag rule and marks the key queried.
+  if (find_value(key) == nullptr) return {};
+  const auto it = lists_.find(key);
+  return it == lists_.end() ? std::vector<std::string>{} : it->second;
 }
 
 void Args::check_unused() const {

@@ -43,6 +43,13 @@ class Args {
   /// `=false/0/no` are accepted, anything else throws.
   bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Every value given for `key`, in command-line order — repeatable flags
+  /// (`--scenario-file a.scn --scenario-file b.scn`) accumulate here while
+  /// the single-value accessors keep their last-wins behaviour. Empty when
+  /// the key is absent; throws naming the flag when its last occurrence
+  /// was a bare flag.
+  std::vector<std::string> get_list(const std::string& key) const;
+
   /// Throws std::invalid_argument if any provided key was never queried;
   /// call after all get()s to catch misspelled options.
   void check_unused() const;
@@ -53,6 +60,8 @@ class Args {
   const std::string* find_value(const std::string& key) const;
 
   std::map<std::string, std::string> values_;
+  /// All values per key, in command-line order (bare occurrences excluded).
+  std::map<std::string, std::vector<std::string>> lists_;
   std::set<std::string> bare_flags_;  ///< keys given without a value
   mutable std::set<std::string> queried_;
 };

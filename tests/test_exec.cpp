@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -356,6 +358,72 @@ TEST(GridSpec, RejectsUnknownKeysAndValues) {
   EXPECT_THROW(parse_grid_spec("clusters=Z"), std::invalid_argument);
   EXPECT_THROW(parse_grid_spec("schemes"), std::invalid_argument);
   EXPECT_THROW(parse_grid_spec("scenarios=warp"), std::invalid_argument);
+}
+
+/// EXPECT_THROW plus a check that the message contains `needle`.
+void expect_spec_error(const std::string& spec, const std::string& needle) {
+  try {
+    parse_grid_spec(spec);
+    FAIL() << "expected '" << spec << "' to be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "spec '" << spec << "' threw: " << e.what();
+  }
+}
+
+TEST(GridSpec, RejectsNonIntegralAndNegativeCounts) {
+  // Regression: these used to truncate (s=1.5 → 1) or wrap through
+  // static_cast to huge size_t values (s=-1, k=-2, iters=-5) — silently.
+  expect_spec_error("s=1.5", "'s'");
+  expect_spec_error("s=-1", "'s'");
+  expect_spec_error("k=-2", "'k'");
+  expect_spec_error("k=2.25", "'k'");
+  expect_spec_error("iters=-5", "'iters'");
+  expect_spec_error("seeds=-3", "'seeds'");
+  expect_spec_error("seeds=1..2.5", "'seeds'");
+  expect_spec_error("stragglers=-1", "'stragglers'");
+  // Plain integral values (including the k=0 sentinel) still parse.
+  const SweepGrid grid = parse_grid_spec("s=2;k=0;iters=7;seeds=3");
+  EXPECT_EQ(grid.s_values, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(grid.k_values, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(grid.iterations, 7u);
+}
+
+TEST(GridSpec, RejectsMultiSGridsOverDemoScenarioSchedules) {
+  // Regression: the demo churn/trace schedules bind to s_values.front();
+  // a grid like s=1,2;scenario=churn silently ran the s=1 schedule in
+  // every cell.
+  expect_spec_error("s=1,2;scenarios=churn;iters=10", "one s value");
+  expect_spec_error("s=1,2;scenarios=trace;iters=10", "one s value");
+  expect_spec_error("s=1,2;scenarios=static,churn;iters=10", "one s value");
+  // A single s is fine, and so is multi-s over static-only scenarios.
+  EXPECT_NO_THROW(parse_grid_spec("s=2;scenarios=churn;iters=10"));
+  EXPECT_NO_THROW(parse_grid_spec("s=1,2;scenarios=static;iters=10"));
+}
+
+TEST(GridSpec, RejectsTracePathNoScenarioConsumes) {
+  // Regression: trace=<path> was silently ignored when a scenarios= list
+  // omitted 'trace' — the demo schedule ran while the operator believed
+  // their recorded trace was driving the cells.
+  expect_spec_error("scenarios=churn;trace=some.csv;iters=10",
+                    "does not include 'trace'");
+  expect_spec_error("scenarios=static;trace=some.csv", "trace=some.csv");
+}
+
+TEST(GridSpec, TracePathFeedsTheTraceScenarioAndLiftsTheMultiSBan) {
+  const std::string path = "grid_spec_trace_tmp.csv";
+  {
+    std::ofstream out(path);
+    out << "0.5,0,0,0,0,0,0,0\n0,0,0,0.25,0,0,0,0\n";
+  }
+  // With a recorded file the trace scenario no longer depends on s, so a
+  // multi-s grid is legal again.
+  const SweepGrid grid =
+      parse_grid_spec("s=1,2;scenarios=trace;trace=" + path + ";iters=10");
+  ASSERT_EQ(grid.scenarios.size(), 1u);
+  EXPECT_EQ(grid.scenarios[0].kind, ScenarioKind::kTraceReplay);
+  EXPECT_EQ(grid.scenarios[0].trace.num_iterations(), 2u);
+  std::remove(path.c_str());
 }
 
 // --- Figure presets -----------------------------------------------------

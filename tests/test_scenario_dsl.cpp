@@ -1,0 +1,359 @@
+// Tests for the operator-authored scenario DSL: golden parses, every
+// diagnostic (asserting the offending line number), and the sweep-level
+// integration (scenario_file grids, thread-count determinism).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exec/figures.hpp"
+#include "exec/sweep.hpp"
+#include "scenario/dsl.hpp"
+
+namespace hgc {
+namespace {
+
+using scenario::ParseError;
+
+engine::ScenarioScript parse(const std::string& text,
+                             const std::string& base_dir = "") {
+  std::istringstream in(text);
+  return scenario::parse_scenario(in, "<test>", base_dir);
+}
+
+/// Assert that `text` fails to parse, at `line`, with `needle` in the
+/// message.
+void expect_error(const std::string& text, std::size_t line,
+                  const std::string& needle,
+                  const std::string& base_dir = "") {
+  try {
+    parse(text, base_dir);
+    FAIL() << "expected a ParseError containing '" << needle << "'";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+/// A scratch file deleted on scope exit.
+class TempFile {
+ public:
+  TempFile(std::string path, const std::string& contents)
+      : path_(std::move(path)) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// --- Golden parses -------------------------------------------------------
+
+TEST(ScenarioDsl, ParsesEveryStatementKind) {
+  const TempFile trace("dsl_golden_trace.csv",
+                       "0.5,0,0\n0,0.25,0\n0,0,-1\n0.1,0.1,0.1\n");
+  const auto script = parse(
+      "# a full program\n"
+      "workers 3\n"
+      "splice trace dsl_golden_trace.csv rows 1..3\n"
+      "repeat 2\n"
+      "churn leave 2 @ 0.5   # drop the fast worker\n"
+      "churn join vcpus=4 throughput=3.5 @ 1.0\n"
+      "drift 1 speed 1.0 -> 0.25 over [0.2, 0.8]\n"
+      "correlated stragglers {0, 1} p=0.5 dur=0.3 delay=0.7\n"
+      "correlated stragglers {3} p=0.1 dur=1 fault\n",
+      ".");
+  EXPECT_EQ(script.workers, 3u);
+
+  ASSERT_EQ(script.churn.size(), 2u);
+  EXPECT_FALSE(script.churn[0].join);
+  EXPECT_EQ(script.churn[0].worker, 2u);
+  EXPECT_DOUBLE_EQ(script.churn[0].time, 0.5);
+  EXPECT_TRUE(script.churn[1].join);
+  EXPECT_EQ(script.churn[1].spec.vcpus, 4u);
+  EXPECT_DOUBLE_EQ(script.churn[1].spec.throughput, 3.5);
+
+  ASSERT_EQ(script.drifts.size(), 1u);
+  EXPECT_EQ(script.drifts[0].worker, 1u);
+  EXPECT_DOUBLE_EQ(script.drifts[0].from, 1.0);
+  EXPECT_DOUBLE_EQ(script.drifts[0].to, 0.25);
+  EXPECT_DOUBLE_EQ(script.drifts[0].t0, 0.2);
+  EXPECT_DOUBLE_EQ(script.drifts[0].t1, 0.8);
+
+  ASSERT_EQ(script.bursts.size(), 2u);
+  EXPECT_EQ(script.bursts[0].workers, (std::vector<std::size_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(script.bursts[0].probability, 0.5);
+  EXPECT_DOUBLE_EQ(script.bursts[0].duration, 0.3);
+  EXPECT_DOUBLE_EQ(script.bursts[0].delay, 0.7);
+  EXPECT_FALSE(script.bursts[0].fault);
+  // Worker 3 only ever exists via the join — still a valid id.
+  EXPECT_EQ(script.bursts[1].workers, (std::vector<std::size_t>{3}));
+  EXPECT_TRUE(script.bursts[1].fault);
+
+  // rows 1..3 of the 4-row file.
+  ASSERT_EQ(script.splice.num_iterations(), 3u);
+  EXPECT_EQ(script.splice.num_workers(), 3u);
+  EXPECT_DOUBLE_EQ(script.splice.at(0, 1), 0.25);
+  EXPECT_LT(script.splice.at(1, 2), 0.0);
+  EXPECT_EQ(script.splice_repeat, 2u);
+}
+
+TEST(ScenarioDsl, JoinThroughputDefaultsToOnePerVcpu) {
+  const auto script = parse(
+      "workers 2\n"
+      "churn join vcpus=8 @ 1.0\n"
+      "churn join @ 2.0\n");
+  ASSERT_EQ(script.churn.size(), 2u);
+  EXPECT_DOUBLE_EQ(script.churn[0].spec.throughput, 8.0);
+  EXPECT_EQ(script.churn[1].spec.vcpus, 1u);
+  EXPECT_DOUBLE_EQ(script.churn[1].spec.throughput, 1.0);
+}
+
+TEST(ScenarioDsl, RepeatForeverAndDefaultRepeat) {
+  const TempFile trace("dsl_repeat_trace.csv", "0,0\n");
+  EXPECT_EQ(parse("workers 2\nsplice trace dsl_repeat_trace.csv\n", ".")
+                .splice_repeat,
+            1u);
+  EXPECT_EQ(parse("workers 2\nsplice trace dsl_repeat_trace.csv\n"
+                  "repeat forever\n",
+                  ".")
+                .splice_repeat,
+            0u);
+}
+
+TEST(ScenarioDsl, LoadResolvesSplicePathsAgainstTheFileDirectory) {
+  const TempFile trace("dsl_rel_trace.csv", "0.5,0\n0,0.5\n");
+  const TempFile scn("dsl_rel_scenario.scn",
+                     "workers 2\nsplice trace dsl_rel_trace.csv\n");
+  // Loading by (relative) path works because the scenario sits next to the
+  // trace; the splice path is resolved against the .scn directory, not the
+  // process cwd per se.
+  const auto script = scenario::load_scenario_file("./dsl_rel_scenario.scn");
+  EXPECT_EQ(script.splice.num_iterations(), 2u);
+  EXPECT_THROW(scenario::load_scenario_file("no_such_file.scn"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioDsl, ScenarioNameIsTheFileStem) {
+  EXPECT_EQ(scenario::scenario_name("examples/churn_drift.scn"),
+            "churn_drift");
+  EXPECT_EQ(scenario::scenario_name("flaky.scn"), "flaky");
+}
+
+// --- Diagnostics (every one pins its line number) ------------------------
+
+TEST(ScenarioDslErrors, UnknownStatementKeyword) {
+  expect_error("workers 4\nchurm leave 1 @ 2\n", 2,
+               "unknown statement 'churm'");
+}
+
+TEST(ScenarioDslErrors, WorkersMustComeFirst) {
+  expect_error("churn leave 1 @ 2\n", 1,
+               "first statement must declare 'workers");
+  expect_error("# comment only\n\n", 2, "scenario is empty");
+  expect_error("workers 4\nworkers 4\n", 2, "duplicate 'workers'");
+  expect_error("workers 0\n", 1, "at least one worker");
+  expect_error("workers 2.5\n", 1, "non-negative integer");
+}
+
+TEST(ScenarioDslErrors, ChurnShape) {
+  expect_error("workers 4\nchurn hop 1 @ 2\n", 2, "'leave' or 'join'");
+  expect_error("workers 4\nchurn leave 1 @ -2\n", 2, "non-negative");
+  expect_error("workers 4\nchurn leave 1\n", 2, "expected '@'");
+  expect_error("workers 4\nchurn join color=red @ 1\n", 2,
+               "unknown churn join attribute 'color'");
+  expect_error("workers 4\nchurn join vcpus=0 @ 1\n", 2, "at least 1");
+}
+
+TEST(ScenarioDslErrors, UnsortedChurnTimes) {
+  expect_error(
+      "workers 4\nchurn leave 1 @ 2.0\nchurn leave 2 @ 1.0\n", 3,
+      "non-decreasing time order");
+}
+
+TEST(ScenarioDslErrors, UnknownOrDepartedChurnWorker) {
+  expect_error("workers 4\nchurn leave 7 @ 1\n", 2, "unknown worker 7");
+  expect_error(
+      "workers 4\nchurn leave 2 @ 1\nchurn leave 2 @ 2\n", 3,
+      "already left");
+  // A join's fresh id can be named by a later leave — no error.
+  EXPECT_NO_THROW(
+      parse("workers 4\nchurn join @ 1\nchurn leave 4 @ 2\n"));
+}
+
+TEST(ScenarioDslErrors, DriftShapeAndRanges) {
+  expect_error("workers 4\ndrift 1 pace 1 -> 2 over [0, 1]\n", 2,
+               "drift wants");
+  expect_error("workers 4\ndrift 1 speed 1 -> 0.5 over [2, 1]\n", 2,
+               "t1 must exceed t0");
+  expect_error("workers 4\ndrift 1 speed 0 -> 0.5 over [0, 1]\n", 2,
+               "must be positive");
+  expect_error("workers 4\ndrift 9 speed 1 -> 0.5 over [0, 1]\n", 2,
+               "unknown worker 9 in drift");
+}
+
+TEST(ScenarioDslErrors, OverlappingDriftWindows) {
+  expect_error(
+      "workers 4\n"
+      "drift 1 speed 1 -> 0.5 over [0, 2]\n"
+      "drift 1 speed 0.5 -> 1 over [1, 3]\n",
+      3, "drift windows for worker 1 overlap");
+  // Different workers may overlap freely; same worker back-to-back is fine.
+  EXPECT_NO_THROW(parse(
+      "workers 4\n"
+      "drift 1 speed 1 -> 0.5 over [0, 2]\n"
+      "drift 2 speed 1 -> 0.5 over [1, 3]\n"
+      "drift 1 speed 0.5 -> 1 over [2, 3]\n"));
+}
+
+TEST(ScenarioDslErrors, CorrelatedStragglerShape) {
+  expect_error("workers 4\ncorrelated stragglers {} p=0.5 dur=1 fault\n", 2,
+               "expected a worker id");
+  expect_error(
+      "workers 4\ncorrelated stragglers {1,1} p=0.5 dur=1 fault\n", 2,
+      "duplicate worker 1");
+  expect_error("workers 4\ncorrelated stragglers {1} dur=1 fault\n", 2,
+               "need p=");
+  expect_error("workers 4\ncorrelated stragglers {1} p=1.5 dur=1 fault\n",
+               2, "p must be in (0, 1]");
+  expect_error("workers 4\ncorrelated stragglers {1} p=0.5 fault\n", 2,
+               "need dur=");
+  expect_error("workers 4\ncorrelated stragglers {1} p=0.5 dur=1\n", 2,
+               "delay=<seconds> or fault");
+  expect_error(
+      "workers 4\ncorrelated stragglers {1} p=0.5 dur=1 delay=1 fault\n",
+      2, "not both");
+  expect_error(
+      "workers 4\ncorrelated stragglers {1} p=0.5 dur=1 size=3\n", 2,
+      "unknown correlated-straggler attribute 'size'");
+  expect_error("workers 4\ncorrelated stragglers {6} p=0.5 dur=1 fault\n",
+               2, "unknown worker 6 in the straggler set");
+}
+
+TEST(ScenarioDslErrors, SpliceShapeAndBounds) {
+  const TempFile trace("dsl_err_trace.csv", "0,0\n0,0\n");
+  expect_error("workers 2\nsplice dsl_err_trace.csv\n", 2, "splice wants",
+               ".");
+  expect_error("workers 2\nsplice trace missing_file.csv\n", 2,
+               "cannot open", ".");
+  expect_error("workers 2\nsplice trace dsl_err_trace.csv rows 3..1\n", 2,
+               "lo..hi", ".");
+  expect_error("workers 2\nsplice trace dsl_err_trace.csv rows 1..5\n", 2,
+               "exceeds the trace", ".");
+  expect_error(
+      "workers 2\nsplice trace dsl_err_trace.csv\n"
+      "splice trace dsl_err_trace.csv\n",
+      3, "duplicate splice", ".");
+  expect_error("workers 3\nsplice trace dsl_err_trace.csv\n", 2,
+               "2 columns but the scenario declares 3 workers", ".");
+}
+
+TEST(ScenarioDslErrors, RepeatShape) {
+  const TempFile trace("dsl_rep_trace.csv", "0,0\n");
+  expect_error("workers 2\nrepeat 2\n", 2, "repeat needs a 'splice trace'");
+  expect_error("workers 2\nsplice trace dsl_rep_trace.csv\nrepeat 0\n", 3,
+               "at least 1", ".");
+  expect_error(
+      "workers 2\nsplice trace dsl_rep_trace.csv\nrepeat 1\nrepeat 2\n", 4,
+      "duplicate repeat", ".");
+}
+
+TEST(ScenarioDslErrors, LexicalNoise) {
+  expect_error("workers 4\ndrift 1 speed 1.2.3 -> 2 over [0, 1]\n", 2,
+               "malformed number");
+  expect_error("workers 4\nchurn leave 1 @ 2 extra\n", 2,
+               "unexpected 'extra' after the statement");
+  expect_error("workers 4\ndrift 1 speed 1 -> 2 over (0, 1)\n", 2,
+               "unexpected character '('");
+  // Out-of-range ids must be rejected before the double→size_t cast (the
+  // cast itself is UB for values this large).
+  expect_error("workers 2e19\n", 1, "non-negative integer");
+  expect_error("workers 4\nchurn leave 1e300 @ 1\n", 2,
+               "non-negative integer");
+}
+
+// --- Sweep integration ---------------------------------------------------
+
+/// Write a self-contained scenario next to its spliced trace.
+struct ScenarioFixture {
+  TempFile trace;
+  TempFile scn;
+  ScenarioFixture()
+      : trace("dsl_grid_trace.csv",
+              "0.1,0,0,0,0,0,0,0\n0,0,0,0,0,0,0,0.2\n"),
+        scn("dsl_grid_scenario.scn",
+            "workers 8\n"
+            "splice trace dsl_grid_trace.csv\n"
+            "repeat forever\n"
+            "churn leave 7 @ 0.4\n"
+            "drift 2 speed 1.0 -> 0.5 over [0.1, 0.6]\n"
+            "correlated stragglers {0,1} p=0.25 dur=0.1 delay=0.3\n") {}
+};
+
+TEST(ScenarioDslGrid, ScenarioFileBecomesAnAxisPoint) {
+  const ScenarioFixture fx;
+  const exec::SweepGrid grid = exec::parse_grid_spec(
+      "clusters=A;schemes=heter;iters=10;scenario_file=" + fx.scn.path());
+  ASSERT_EQ(grid.scenarios.size(), 1u);
+  EXPECT_EQ(grid.scenarios[0].kind, exec::ScenarioKind::kScript);
+  EXPECT_EQ(grid.scenarios[0].name, "dsl_grid_scenario");
+  EXPECT_EQ(grid.scenarios[0].script.workers, 8u);
+  EXPECT_EQ(grid.scenarios[0].script.churn.size(), 1u);
+}
+
+TEST(ScenarioDslGrid, CombinesWithExplicitScenarioListAndRepeatedKeys) {
+  const ScenarioFixture fx;
+  const exec::SweepGrid grid = exec::parse_grid_spec(
+      "clusters=A;schemes=heter;iters=10;scenarios=static;scenario_file=" +
+      fx.scn.path() + ";scenario_file=" + fx.scn.path());
+  ASSERT_EQ(grid.scenarios.size(), 3u);
+  EXPECT_EQ(grid.scenarios[0].kind, exec::ScenarioKind::kStatic);
+  EXPECT_EQ(grid.scenarios[1].kind, exec::ScenarioKind::kScript);
+  EXPECT_EQ(grid.scenarios[2].kind, exec::ScenarioKind::kScript);
+}
+
+TEST(ScenarioDslGrid, RejectsWorkerCountAndClusterMismatches) {
+  const TempFile small("dsl_small_scenario.scn", "workers 4\n");
+  EXPECT_THROW(
+      exec::parse_grid_spec("clusters=A;iters=5;scenario_file=" +
+                            small.path()),
+      std::invalid_argument);  // Cluster-A has 8 workers
+  const ScenarioFixture fx;
+  EXPECT_THROW(
+      exec::parse_grid_spec("clusters=A,B;iters=5;scenario_file=" +
+                            fx.scn.path()),
+      std::invalid_argument);
+}
+
+TEST(ScenarioDslGrid, MultiSScenarioFileGridIsByteIdenticalAcrossThreads) {
+  // The acceptance contract: a drift + correlated-straggler + trace-splice
+  // scenario authored purely in text, gridded over multiple s values,
+  // byte-identical at any thread count.
+  const ScenarioFixture fx;
+  // scenarios=static alongside the file also makes the scenario axis
+  // multi-valued, so its names land in the row coordinates.
+  const exec::SweepGrid grid = exec::parse_grid_spec(
+      "clusters=A;schemes=naive,heter;s=1,2;fluct=0.02;stragglers=0;"
+      "iters=12;scenarios=static;scenario_file=" +
+      fx.scn.path());
+  const auto csv_of = [](const exec::ResultTable& table) {
+    std::ostringstream os;
+    table.to_csv(os);
+    return os.str();
+  };
+  const std::string serial = csv_of(exec::run_sweep(grid, {.threads = 1}));
+  const std::string parallel =
+      csv_of(exec::run_sweep(grid, {.threads = 4}));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("dsl_grid_scenario"), std::string::npos);
+  EXPECT_NE(serial.find("bursts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hgc

@@ -69,6 +69,25 @@ TEST(DelayTrace, RoundTripsThroughCsv) {
   EXPECT_EQ(back.rows(), trace.rows());
 }
 
+TEST(DelayTrace, WriteRoundTripsFullDoublePrecision) {
+  // Regression: the writer used operator<<'s default 6 significant digits,
+  // so any delay that wasn't short-decimal came back changed after a
+  // save/load cycle — breaking the "same trace row drives every scheme"
+  // fairness contract. Every double must survive write→parse exactly.
+  const DelayTrace trace({{0.1 + 0.2, 1.0 / 3.0, 1.2345678901234567},
+                          {1e-17, 123456.789012345, 9.87654321e+12},
+                          {-1.0, 0.30000000000000004, 2.5e-300}});
+  std::ostringstream out;
+  engine::write_delay_trace_csv(trace, out);
+  std::istringstream in(out.str());
+  const DelayTrace back = engine::parse_delay_trace_csv(in);
+  ASSERT_EQ(back.num_iterations(), trace.num_iterations());
+  for (std::size_t r = 0; r < trace.num_iterations(); ++r)
+    for (std::size_t w = 0; w < trace.num_workers(); ++w)
+      EXPECT_EQ(back.at(r, w), trace.at(r, w))
+          << "row " << r << ", worker " << w << " did not round-trip";
+}
+
 TEST(DelayTrace, LoadsFromFileAndRejectsMissingFile) {
   const std::string path = "delay_trace_test_tmp.csv";
   {
@@ -209,6 +228,235 @@ TEST(Churn, RefusesToShrinkBelowTolerance) {
   EXPECT_THROW(
       engine::run_churn_scenario(SchemeKind::kCyclic, tiny, config),
       std::invalid_argument);
+}
+
+using engine::ScenarioScript;
+using engine::ScriptConfig;
+
+TEST(ScenarioScript, DriftRampInterpolatesLinearly) {
+  engine::DriftWindow drift;
+  drift.worker = 0;
+  drift.from = 1.0;
+  drift.to = 0.5;
+  drift.t0 = 2.0;
+  drift.t1 = 4.0;
+  EXPECT_DOUBLE_EQ(drift.factor_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(drift.factor_at(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(drift.factor_at(3.0), 0.75);
+  EXPECT_DOUBLE_EQ(drift.factor_at(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(drift.factor_at(100.0), 0.5);
+}
+
+TEST(ScenarioScript, EmptyScriptMatchesChurnlessRun) {
+  // A script with no statements beyond the worker count is exactly the
+  // churn driver with no events.
+  const Cluster cluster = cluster_a();
+  ScenarioScript script;
+  script.workers = 8;
+  ScriptConfig config;
+  config.iterations = 15;
+  config.model.num_stragglers = 1;
+  config.model.delay_seconds = 0.2;
+  const auto run = engine::run_script_scenario(SchemeKind::kHeterAware,
+                                               cluster, script, config);
+  ChurnConfig churn_config;
+  churn_config.iterations = 15;
+  churn_config.model = config.model;
+  const auto churn = engine::run_churn_scenario(SchemeKind::kHeterAware,
+                                                cluster, churn_config);
+  EXPECT_DOUBLE_EQ(run.total_time, churn.total_time);
+  EXPECT_EQ(run.failures, churn.failures);
+  EXPECT_EQ(run.bursts_started, 0u);
+}
+
+TEST(ScenarioScript, RejectsWorkerCountMismatch) {
+  ScenarioScript script;
+  script.workers = 4;  // Cluster-A has 8
+  EXPECT_THROW(engine::run_script_scenario(SchemeKind::kCyclic, cluster_a(),
+                                           script, {}),
+               std::invalid_argument);
+  ScenarioScript wide_splice;
+  wide_splice.workers = 8;
+  wide_splice.splice = DelayTrace({{0.0, 0.0, 0.0}});  // 3 columns
+  EXPECT_THROW(engine::run_script_scenario(SchemeKind::kCyclic, cluster_a(),
+                                           wide_splice, {}),
+               std::invalid_argument);
+}
+
+TEST(ScenarioScript, SpliceOnlyScriptReplaysExactlyLikeTraceReplay) {
+  // With a clean base model, a splice-only script must be the trace-replay
+  // driver: same trace row, same virtual times, iteration for iteration.
+  const Cluster cluster = cluster_a();
+  std::vector<std::vector<double>> rows(6, std::vector<double>(8, 0.0));
+  for (std::size_t r = 0; r < rows.size(); ++r) rows[r][r % 8] = 0.3;
+  rows[2][5] = -1.0;
+  const DelayTrace trace(rows);
+
+  ScenarioScript script;
+  script.workers = 8;
+  script.splice = trace;
+  script.splice_repeat = 0;  // wrap like the replay driver
+  ScriptConfig config;
+  config.iterations = 10;
+  config.s = 1;
+  const auto scripted = engine::run_script_scenario(SchemeKind::kHeterAware,
+                                                    cluster, script, config);
+
+  TraceReplayConfig replay_config;
+  replay_config.iterations = 10;
+  replay_config.s = 1;
+  const auto replayed = engine::replay_trace(SchemeKind::kHeterAware,
+                                             cluster, trace, replay_config);
+  EXPECT_EQ(scripted.failures, replayed.failures);
+  EXPECT_DOUBLE_EQ(scripted.iteration_time.mean(),
+                   replayed.iteration_time.mean());
+  EXPECT_DOUBLE_EQ(scripted.total_time, replayed.total_time);
+}
+
+TEST(ScenarioScript, SpliceRepeatStopsContributingAfterItsPasses) {
+  // One pass over a one-row splice: iteration 0 is delayed, the rest are
+  // clean, so the mean sits strictly between the clean and delayed times.
+  const Cluster cluster = cluster_a();
+  const double ideal = ideal_iteration_time(cluster, 1);
+  std::vector<double> row(8, 0.0);
+  row[0] = 5.0 * ideal;
+
+  ScenarioScript once;
+  once.workers = 8;
+  once.splice = DelayTrace({row});
+  once.splice_repeat = 1;
+  ScriptConfig config;
+  config.iterations = 4;
+  config.s = 1;
+  config.k = 24;
+  const auto one_pass = engine::run_script_scenario(SchemeKind::kNaive,
+                                                    cluster, once, config);
+
+  ScenarioScript forever = once;
+  forever.splice_repeat = 0;
+  const auto wrapped = engine::run_script_scenario(SchemeKind::kNaive,
+                                                   cluster, forever, config);
+  ScenarioScript clean;
+  clean.workers = 8;
+  const auto baseline = engine::run_script_scenario(SchemeKind::kNaive,
+                                                    cluster, clean, config);
+  // Naive cannot mask the straggler: every wrapped round pays the delayed
+  // time D, while one pass pays D once and the clean time C three times.
+  const double d = wrapped.total_time / 4.0;
+  const double c = baseline.total_time / 4.0;
+  EXPECT_GT(d, c);
+  EXPECT_NEAR(one_pass.total_time, d + 3.0 * c, 1e-9);
+}
+
+TEST(ScenarioScript, DriftSlowsTheDriftedWorker) {
+  // Worker 0 collapses to 10% speed from t=0 on. Naive (k = m, everyone
+  // must answer) pays the full slowdown every round.
+  const Cluster cluster = cluster_a();
+  ScenarioScript script;
+  script.workers = 8;
+  engine::DriftWindow drift;
+  drift.worker = 0;
+  drift.from = 0.1;
+  drift.to = 0.1;
+  drift.t0 = 0.0;
+  drift.t1 = 1.0;
+  script.drifts = {drift};
+
+  ScriptConfig config;
+  config.iterations = 8;
+  config.s = 1;
+  config.k = 24;
+  const auto drifted = engine::run_script_scenario(SchemeKind::kNaive,
+                                                   cluster, script, config);
+  ScenarioScript clean;
+  clean.workers = 8;
+  const auto baseline = engine::run_script_scenario(SchemeKind::kNaive,
+                                                    cluster, clean, config);
+  EXPECT_GT(drifted.iteration_time.mean(),
+            5.0 * baseline.iteration_time.mean());
+}
+
+TEST(ScenarioScript, CorrelatedFaultBurstOverwhelmsToleranceButNotTimeout) {
+  // A p=1, effectively-permanent burst faults 3 workers at once; s=1
+  // cannot decode any round, and the give-up timeout must keep the clock
+  // moving (one ideal round time per failed iteration) instead of pinning
+  // it inside the burst window forever.
+  const Cluster cluster = cluster_a();
+  ScenarioScript script;
+  script.workers = 8;
+  engine::CorrelatedStragglers burst;
+  burst.workers = {0, 1, 2};
+  burst.probability = 1.0;
+  burst.duration = 1e9;
+  burst.fault = true;
+  script.bursts = {burst};
+
+  ScriptConfig config;
+  config.iterations = 6;
+  config.s = 1;
+  const auto run = engine::run_script_scenario(SchemeKind::kHeterAware,
+                                               cluster, script, config);
+  EXPECT_EQ(run.failures, 6u);
+  EXPECT_EQ(run.bursts_started, 1u);
+  EXPECT_NEAR(run.total_time, 6.0 * ideal_iteration_time(cluster, 1), 1e-9);
+}
+
+TEST(ScenarioScript, CorrelatedDelayBurstIsAbsorbedWithinTolerance) {
+  // A single-worker burst within s=1 tolerance: heter-aware rides through
+  // at the ideal time while the burst still fires.
+  const Cluster cluster = cluster_a();
+  ScenarioScript script;
+  script.workers = 8;
+  engine::CorrelatedStragglers burst;
+  burst.workers = {3};
+  burst.probability = 1.0;
+  burst.duration = 1e9;
+  burst.delay = 10.0;
+  script.bursts = {burst};
+
+  ScriptConfig config;
+  config.iterations = 10;
+  config.s = 1;
+  config.k = 24;
+  const auto run = engine::run_script_scenario(SchemeKind::kHeterAware,
+                                               cluster, script, config);
+  EXPECT_EQ(run.failures, 0u);
+  EXPECT_EQ(run.bursts_started, 1u);
+  EXPECT_NEAR(run.iteration_time.mean(), ideal_iteration_time(cluster, 1),
+              1e-9);
+}
+
+TEST(ScenarioScript, DeterministicForFixedSeed) {
+  const Cluster cluster = cluster_a();
+  ScenarioScript script;
+  script.workers = 8;
+  engine::CorrelatedStragglers burst;
+  burst.workers = {1, 2};
+  burst.probability = 0.3;
+  burst.duration = 0.1;
+  burst.delay = 0.2;
+  script.bursts = {burst};
+  engine::DriftWindow drift;
+  drift.worker = 4;
+  drift.from = 1.0;
+  drift.to = 0.6;
+  drift.t0 = 0.1;
+  drift.t1 = 0.5;
+  script.drifts = {drift};
+  script.churn.push_back({0.2, false, 7, {}});
+
+  ScriptConfig config;
+  config.iterations = 25;
+  config.model.fluctuation_sigma = 0.05;
+  config.seed = 7;
+  const auto a = engine::run_script_scenario(SchemeKind::kHeterAware,
+                                             cluster, script, config);
+  const auto b = engine::run_script_scenario(SchemeKind::kHeterAware,
+                                             cluster, script, config);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.bursts_started, b.bursts_started);
+  EXPECT_EQ(a.reinstantiations, 1u);
+  EXPECT_DOUBLE_EQ(a.latency.p95(), b.latency.p95());
 }
 
 TEST(Churn, DeterministicForFixedSeed) {

@@ -376,6 +376,26 @@ TEST(Args, ParsesKeyValueAndFlags) {
   EXPECT_NO_THROW(args.check_unused());
 }
 
+TEST(Args, GetListAccumulatesRepeatedFlags) {
+  const char* argv[] = {"prog", "--scenario-file", "a.scn",
+                        "--scenario-file=b.scn", "--scenario-file", "c.scn",
+                        "--other", "x"};
+  Args args(8, argv);
+  EXPECT_EQ(args.get_list("scenario-file"),
+            (std::vector<std::string>{"a.scn", "b.scn", "c.scn"}));
+  // Single-value accessors keep their last-wins behaviour.
+  EXPECT_EQ(args.get("scenario-file", ""), "c.scn");
+  EXPECT_EQ(args.get_list("other"), (std::vector<std::string>{"x"}));
+  EXPECT_TRUE(args.get_list("absent").empty());
+  EXPECT_NO_THROW(args.check_unused());
+}
+
+TEST(Args, GetListRejectsBareFlags) {
+  const char* argv[] = {"prog", "--scenario-file", "--threads", "4"};
+  Args args(4, argv);
+  EXPECT_THROW(args.get_list("scenario-file"), std::invalid_argument);
+}
+
 TEST(Args, DetectsUnusedOptions) {
   const char* argv[] = {"prog", "--typo", "3"};
   Args args(3, argv);
