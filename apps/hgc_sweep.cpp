@@ -12,14 +12,23 @@
 // Cells run on a work-stealing thread pool (--threads, default = all
 // cores); output is bit-identical at any thread count, so `--threads 1`
 // and `--threads 64` runs of the same grid diff clean. The run summary
-// goes to stderr, keeping stdout pure data.
+// goes to stderr, keeping stdout pure data. Observability is equally
+// out-of-band: --metrics-out / --trace-out / --progress never change a
+// byte of the CSV/JSON results (CI diffs the two).
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "exec/figures.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -46,6 +55,16 @@ void print_usage(std::ostream& os) {
         "                     bodied presets like fig4 bypass it)\n"
         "  --csv PATH         write CSV to PATH ('-' = stdout; the default)\n"
         "  --json PATH        write JSON to PATH ('-' = stdout)\n"
+        "  --metrics-out F    write the merged metrics-registry snapshot\n"
+        "                     (cache hit/miss, decode solves, per-cell\n"
+        "                     timing) as JSON to F after the run\n"
+        "  --trace-out F      record a dual-clock Chrome trace_event file\n"
+        "                     to F: wall-clock sweep/solve spans plus one\n"
+        "                     virtual-clock track per cell (open in\n"
+        "                     chrome://tracing or ui.perfetto.dev)\n"
+        "  --progress         report cells-done/total + elapsed to stderr\n"
+        "                     while the sweep runs (off by default; stdout\n"
+        "                     is never touched)\n"
         "  --pivot R,C,M      print a pivot table: rows=axis R, cols=axis\n"
         "                     C, cells=metric M\n"
         "  --aggregate AXIS   collapse AXIS (e.g. seed) by exact merge\n"
@@ -63,6 +82,58 @@ void write_output(const std::string& path, Emit emit) {
   if (!file) throw std::invalid_argument("cannot open for write: " + path);
   emit(file);
 }
+
+/// --progress: a background thread rewriting one stderr line from the
+/// metrics registry (cells done / total / elapsed) every half second.
+/// stdout is never touched, and the thread joins before any output is
+/// written, so data and progress cannot interleave.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(std::size_t total) : total_(total) {
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~ProgressReporter() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    if (printed_) std::cerr << "\n";
+  }
+
+ private:
+  void loop() {
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopped_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(500),
+                   [this] { return stopped_; });
+      if (stopped_) break;
+      lock.unlock();
+      const std::uint64_t done =
+          hgc::obs::Registry::global().snapshot().counter("sweep.cells.done");
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::cerr << "\r# progress: " << done << "/" << total_ << " cells, "
+                << static_cast<int>(elapsed) << "s elapsed" << std::flush;
+      printed_ = true;
+      lock.lock();
+    }
+  }
+
+  std::size_t total_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  bool printed_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -90,6 +161,9 @@ int main(int argc, char** argv) {
     const std::string aggregate_axis = args.get("aggregate", "");
     const std::vector<std::string> scenario_files =
         args.get_list("scenario-file");
+    const std::string metrics_path = args.get("metrics-out", "");
+    const std::string trace_path = args.get("trace-out", "");
+    const bool progress = args.get_bool("progress", false);
     bool use_cache = args.get_bool("cache", true);
     if (args.get_bool("no-cache", false)) use_cache = false;
     args.check_unused();
@@ -128,26 +202,37 @@ int main(int argc, char** argv) {
       exec::append_scenario_files(figure.grid, scenario_files);
     }
 
+    // Observability: the metrics registry is always on in the CLI (it
+    // feeds the stderr summary and --progress); tracing only when asked.
+    // Both are out of band — the results tables are byte-identical with
+    // any combination of these flags (CI diffs a traced run against a
+    // plain one).
+    obs::set_metrics_enabled(true);
+    if (!trace_path.empty()) obs::set_trace_enabled(true);
+
     exec::SweepOptions options;
     options.threads = threads;
     // Both caches are result-transparent (same bytes out either way); the
-    // stats land on stderr so stdout stays pure data.
+    // hit rates land on stderr so stdout stays pure data.
     SchemeCache scheme_cache;
-    exec::SweepCacheStats cache_stats;
     if (use_cache) {
       options.scheme_cache = &scheme_cache;
       options.decoding_cache_capacity = 256;
-      options.cache_stats = &cache_stats;
     }
+    obs::Snapshot metrics;
+    options.metrics_snapshot = &metrics;
     const std::size_t resolved_threads =
         threads != 0 ? threads : exec::ThreadPool::default_threads();
 
+    std::optional<ProgressReporter> reporter;
+    if (progress) reporter.emplace(figure.grid.num_cells());
     const auto start = std::chrono::steady_clock::now();
     exec::ResultTable table = exec::run_figure(figure, options);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (reporter) reporter->stop();
     if (!aggregate_axis.empty())
       table = table.aggregate_over(aggregate_axis);
 
@@ -155,29 +240,41 @@ int main(int argc, char** argv) {
               << figure.grid.num_cells() << " cells on "
               << resolved_threads << " thread(s) in " << seconds << "s\n";
     if (use_cache) {
-      const std::size_t dh = cache_stats.decode_hits.load();
-      const std::size_t dm = cache_stats.decode_misses.load();
-      if (scheme_cache.hits() + scheme_cache.misses() + dh + dm == 0) {
+      const std::uint64_t sh = metrics.counter("scheme_cache.hits");
+      const std::uint64_t sm = metrics.counter("scheme_cache.misses");
+      const std::uint64_t dh = metrics.counter("decode_cache.hits");
+      const std::uint64_t dm = metrics.counter("decode_cache.misses");
+      if (sh + sm + dh + dm == 0) {
         // The custom-bodied presets (fig4, table2, loss, ...) run their own
         // cell functions, which do not go through the cached experiment
         // path — say so instead of printing misleading 0-traffic rates.
         std::cerr << "# caches: unused (this preset's custom cell body "
                      "bypasses the caching layer)\n";
       } else {
-        const auto rate = [](std::size_t hits, std::size_t misses) {
-          const std::size_t total = hits + misses;
+        const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+          const std::uint64_t total = hits + misses;
           return total == 0 ? 0.0
                             : 100.0 * static_cast<double>(hits) /
                                   static_cast<double>(total);
         };
-        std::cerr << "# scheme cache: " << scheme_cache.hits() << " hits / "
-                  << scheme_cache.misses() << " misses ("
-                  << rate(scheme_cache.hits(), scheme_cache.misses())
-                  << "% hit rate, " << scheme_cache.size()
-                  << " schemes constructed)\n";
+        std::cerr << "# scheme cache: " << sh << " hits / " << sm
+                  << " misses (" << rate(sh, sm) << "% hit rate, "
+                  << scheme_cache.size() << " schemes constructed)\n";
         std::cerr << "# decode cache: " << dh << " hits / " << dm
                   << " misses (" << rate(dh, dm) << "% hit rate)\n";
       }
+    }
+    if (!metrics_path.empty())
+      write_output(metrics_path,
+                   [&](std::ostream& os) { metrics.write_json(os); });
+    if (!trace_path.empty()) {
+      obs::set_trace_enabled(false);
+      write_output(trace_path, [&](std::ostream& os) {
+        obs::Tracer::global().write_json(os);
+      });
+      if (const std::uint64_t dropped = obs::Tracer::global().dropped())
+        std::cerr << "# trace: " << dropped
+                  << " events dropped (per-thread buffer full)\n";
     }
 
     bool wrote = false;

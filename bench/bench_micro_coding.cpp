@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "core/decoder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/decoding_cache.hpp"
 #include "core/group_based.hpp"
 #include "core/heter_aware.hpp"
@@ -526,6 +528,102 @@ void BM_BuildDecodingMatrix(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildDecodingMatrix)->Args({8, 1})->Args({8, 2})->Args({16, 2});
+
+// ------------------------------------------------ observability benches --
+// The obs layer's disabled-cost contract: an instrumented site pays one
+// relaxed atomic load + branch when observability is off. The *Disabled
+// benches pin that with max_real_time_ns ceilings in kernels_baseline.json
+// (CI perf-smoke); the *Enabled variants quantify the turned-on cost so a
+// hot-path regression is visible in the console table. Every bench leaves
+// both systems disabled on exit — later benches time instrumented code
+// (decode solves, caches) and must not pay the enabled path.
+
+void BM_ObsOverheadCounterDisabled(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  // The exact site pattern used across src/: guard first, bind the registry
+  // handle lazily inside the branch (never reached while disabled).
+  AllocCounter allocs;
+  for (auto _ : state) {
+    if (obs::metrics_enabled()) {
+      static const obs::Counter c =
+          obs::Registry::global().counter("bench.obs_counter");
+      c.add();
+    }
+    benchmark::ClobberMemory();
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_ObsOverheadCounterDisabled);
+
+void BM_ObsOverheadCounterEnabled(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  const obs::Counter c = obs::Registry::global().counter("bench.obs_counter");
+  c.add();  // warm-up: registers the slot and acquires this thread's shard
+  AllocCounter allocs;
+  for (auto _ : state) {
+    c.add();
+    benchmark::ClobberMemory();
+  }
+  allocs.report(state);
+  obs::set_metrics_enabled(false);
+}
+BENCHMARK(BM_ObsOverheadCounterEnabled);
+
+void BM_ObsOverheadHistogramDisabled(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  const obs::Histogram h = obs::Registry::global().histogram(
+      "bench.obs_histogram", {1e-6, 1e-4, 1e-2, 1.0});
+  double x = 0.5;
+  AllocCounter allocs;
+  for (auto _ : state) {
+    h.observe(x);  // internal enabled-guard returns immediately
+    benchmark::DoNotOptimize(x);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_ObsOverheadHistogramDisabled);
+
+void BM_ObsOverheadHistogramEnabled(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  const obs::Histogram h = obs::Registry::global().histogram(
+      "bench.obs_histogram", {1e-6, 1e-4, 1e-2, 1.0});
+  h.observe(0.5);  // warm-up
+  double x = 0.5;
+  AllocCounter allocs;
+  for (auto _ : state) {
+    h.observe(x);
+    benchmark::DoNotOptimize(x);
+  }
+  allocs.report(state);
+  obs::set_metrics_enabled(false);
+}
+BENCHMARK(BM_ObsOverheadHistogramEnabled);
+
+void BM_ObsOverheadTraceScopeDisabled(benchmark::State& state) {
+  obs::set_trace_enabled(false);
+  AllocCounter allocs;
+  for (auto _ : state) {
+    HGC_TRACE_SCOPE("bench", "bench", 0);
+    benchmark::ClobberMemory();
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_ObsOverheadTraceScopeDisabled);
+
+void BM_ObsOverheadTraceScopeEnabled(benchmark::State& state) {
+  // Fixed iteration count: the per-thread buffer caps at 2^20 events, and a
+  // saturated buffer would silently time the (cheaper) drop path instead of
+  // the record path.
+  obs::Tracer::global().reset();
+  obs::set_trace_enabled(true);
+  for (auto _ : state) {
+    HGC_TRACE_SCOPE("bench", "bench", 0);
+    benchmark::ClobberMemory();
+  }
+  obs::set_trace_enabled(false);
+  obs::Tracer::global().reset();
+}
+BENCHMARK(BM_ObsOverheadTraceScopeEnabled)->Iterations(1 << 18);
 
 }  // namespace
 

@@ -1,9 +1,35 @@
 #include "core/decoder.hpp"
 
 #include "core/robustness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace hgc {
+
+std::optional<Vector> solve_decoding_coefficients(
+    const CodingScheme& scheme, const std::vector<bool>& received) {
+  if (!obs::metrics_enabled() && !obs::trace_enabled())
+    return scheme.decoding_coefficients(received);
+
+  HGC_TRACE_SCOPE("decode_solve", "decode");
+  if (!obs::metrics_enabled()) return scheme.decoding_coefficients(received);
+
+  static const obs::Counter solves =
+      obs::Registry::global().counter("decode.solves");
+  // Log-spaced upper-inclusive bounds bracketing the µs-to-ms solves the
+  // coding-matrix sizes produce; anything slower lands in overflow.
+  static const obs::Histogram solve_seconds =
+      obs::Registry::global().histogram(
+          "decode.solve_seconds",
+          {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+  solves.add();
+  Stopwatch timer;
+  auto coefficients = scheme.decoding_coefficients(received);
+  solve_seconds.observe(timer.seconds());
+  return coefficients;
+}
 
 std::vector<DecodingRow> build_decoding_matrix(const CodingScheme& scheme) {
   const std::size_t m = scheme.num_workers();
@@ -51,7 +77,7 @@ bool StreamingDecoder::add_result(WorkerId w, Vector coded_gradient) {
   if (coefficients_) return false;  // already decodable, extra result unused
   if (received_count_ < scheme_.min_results_required()) return false;
   coefficients_ = cache_ ? cache_->decode(received_)
-                         : scheme_.decoding_coefficients(received_);
+                         : solve_decoding_coefficients(scheme_, received_);
   return coefficients_.has_value();
 }
 

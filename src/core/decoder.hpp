@@ -28,6 +28,15 @@ struct DecodingRow {
 /// paper's "partially stored" table for regular patterns).
 std::vector<DecodingRow> build_decoding_matrix(const CodingScheme& scheme);
 
+/// scheme.decoding_coefficients(received) wrapped in the observability
+/// layer: counts `decode.solves`, samples `decode.solve_seconds`, and opens
+/// a wall-clock "decode_solve" trace span. The single real-time-solve entry
+/// point for both the uncached decoder path and a DecodingCache miss —
+/// result-identical to calling the scheme directly (everything recorded is
+/// out of band).
+std::optional<Vector> solve_decoding_coefficients(
+    const CodingScheme& scheme, const std::vector<bool>& received);
+
 /// Incremental master-side decoder. Results are added in arrival order; the
 /// decoder re-checks decodability per arrival (skipping checks that cannot
 /// succeed yet) and caches the coefficients once found.

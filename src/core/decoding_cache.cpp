@@ -1,5 +1,7 @@
 #include "core/decoding_cache.hpp"
 
+#include "core/decoder.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace hgc {
@@ -35,12 +37,22 @@ std::optional<Vector> DecodingCache::decode(
   auto key = pack(received);
   if (const auto it = index_.find(key); it != index_.end()) {
     ++hits_;
+    if (obs::metrics_enabled()) {
+      static const obs::Counter cache_hits =
+          obs::Registry::global().counter("decode_cache.hits");
+      cache_hits.add();
+    }
     entries_.splice(entries_.begin(), entries_, it->second);  // bump to MRU
     return it->second->coefficients;
   }
 
   ++misses_;
-  auto coefficients = scheme_.decoding_coefficients(received);
+  if (obs::metrics_enabled()) {
+    static const obs::Counter cache_misses =
+        obs::Registry::global().counter("decode_cache.misses");
+    cache_misses.add();
+  }
+  auto coefficients = solve_decoding_coefficients(scheme_, received);
   entries_.push_front({key, coefficients});
   index_[std::move(key)] = entries_.begin();
   if (entries_.size() > capacity_) {

@@ -3,6 +3,8 @@
 #include <bit>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -69,6 +71,11 @@ std::shared_ptr<const CodingScheme> SchemeCache::get_or_create(
     std::shared_lock lock(mutex_);
     if (const auto it = map_.find(key); it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metrics_enabled()) {
+        static const obs::Counter cache_hits =
+            obs::Registry::global().counter("scheme_cache.hits");
+        cache_hits.add();
+      }
       return it->second;
     }
   }
@@ -76,10 +83,17 @@ std::shared_ptr<const CodingScheme> SchemeCache::get_or_create(
   // Construct outside any lock — Alg. 1 / the group search is the expensive
   // part and must not serialize readers. Exactly mirrors run_experiment's
   // uncached path: a fresh Rng seeded with the construction seed.
+  HGC_TRACE_SCOPE("scheme_construct", "cache",
+                  static_cast<std::int64_t>(k));
   Rng construction_rng(construction_seed);
   std::shared_ptr<const CodingScheme> scheme =
       make_scheme(kind, c, k, s, construction_rng);
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_enabled()) {
+    static const obs::Counter cache_misses =
+        obs::Registry::global().counter("scheme_cache.misses");
+    cache_misses.add();
+  }
 
   std::unique_lock lock(mutex_);
   // A racing thread may have inserted the same key first; keep its instance

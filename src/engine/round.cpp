@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace hgc::engine {
@@ -48,7 +50,15 @@ double WorkerActor::begin_round(const CodingScheme& scheme,
                                 const RoundOptions& options,
                                 std::size_t& dropped) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  if (conditions.faulted[id_] || scheme.load(id_) == 0) return kInf;
+  // Virtual-clock trace row for this worker (row 0 is the master's).
+  const auto row = static_cast<std::uint32_t>(id_) + 1;
+  const std::uint32_t track = options.trace_track;
+  const double base = options.trace_time_base;
+  if (conditions.faulted[id_] || scheme.load(id_) == 0) {
+    if (conditions.faulted[id_])
+      obs::trace_virtual_instant(track, row, "fault", "engine", base);
+    return kInf;
+  }
 
   const double rate = spec_.throughput * conditions.speed_factor[id_];
   HGC_ASSERT(rate > 0.0, "effective worker rate must be positive");
@@ -56,6 +66,12 @@ double WorkerActor::begin_round(const CodingScheme& scheme,
                        static_cast<double>(scheme.num_partitions());
   const double compute = share / rate;
   const double send_time = sim().now() + compute + conditions.delay[id_];
+  obs::trace_virtual_span(track, row, "compute", "engine",
+                          base + sim().now(), compute);
+  if (conditions.delay[id_] > 0.0)
+    obs::trace_virtual_span(track, row, "straggle", "engine",
+                            base + sim().now() + compute,
+                            conditions.delay[id_]);
 
   // Build the payload now (the transmission carries real bytes); timing-only
   // rounds ship an empty vector so only the event flow is exercised.
@@ -79,8 +95,12 @@ double WorkerActor::begin_round(const CodingScheme& scheme,
   const auto arrival = link.transmit(id_, master_node, bytes, send_time);
   if (!arrival) {
     ++dropped;  // lost in flight: one more silent straggler
+    obs::trace_virtual_instant(track, row, "lost", "engine",
+                               base + send_time);
     return compute;
   }
+  obs::trace_virtual_span(track, row, "transmit", "engine", base + send_time,
+                          *arrival - send_time);
   // Tag = worker id: simultaneous arrivals reach the master in worker
   // order, the historical (time, worker) sort of the pre-engine loops.
   if (options.partition_gradients && options.wire_frames) {
@@ -128,7 +148,36 @@ RoundOutcome run_round(const CodingScheme& scheme, const Cluster& cluster,
   }
 
   outcome.events_executed = sim.run();
-  if (!master.decoded()) return outcome;
+
+  if (obs::metrics_enabled()) {
+    static const obs::Counter rounds =
+        obs::Registry::global().counter("engine.rounds");
+    static const obs::Counter undecodable =
+        obs::Registry::global().counter("engine.rounds_undecodable");
+    static const obs::Counter events =
+        obs::Registry::global().counter("engine.events");
+    rounds.add();
+    events.add(outcome.events_executed);
+    if (!master.decoded()) undecodable.add();
+  }
+
+  if (!master.decoded()) {
+    obs::trace_virtual_instant(options.trace_track, 0, "undecodable",
+                               "engine", options.trace_time_base);
+    return outcome;
+  }
+
+  if (obs::metrics_enabled()) {
+    static const obs::StatHandle round_time =
+        obs::Registry::global().stat("engine.round_time");
+    static const obs::QuantileHandle round_latency =
+        obs::Registry::global().quantile("engine.round_latency");
+    round_time.observe(master.decode_time());
+    round_latency.observe(master.decode_time());
+  }
+  obs::trace_virtual_span(options.trace_track, 0, "round", "engine",
+                          options.trace_time_base, master.decode_time(),
+                          static_cast<std::int64_t>(master.results_used()));
 
   outcome.decoded = true;
   outcome.time = master.decode_time();

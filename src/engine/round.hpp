@@ -44,6 +44,14 @@ struct RoundOptions {
   /// straggler patterns skip the O(s³) solve; not thread-safe, so parallel
   /// callers keep one per thread.
   DecodingCache* decoding_cache = nullptr;
+  /// Observability routing — never affects results. When non-zero (and the
+  /// tracer is on), the round lays its master/worker timeline out on this
+  /// virtual-clock track of the Chrome trace (sweep cells claim
+  /// cell.index + 1); 0 = no virtual events.
+  std::uint32_t trace_track = 0;
+  /// Virtual time (seconds) this round starts at on its track — the
+  /// caller's accumulated clock across iterations.
+  double trace_time_base = 0.0;
 };
 
 /// Outcome of one engine round.

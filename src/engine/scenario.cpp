@@ -7,6 +7,8 @@
 
 #include "engine/link.hpp"
 #include "engine/round.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace hgc::engine {
@@ -178,6 +180,14 @@ ScriptResult run_script_scenario(SchemeKind kind, const Cluster& initial,
       scheme = rebuild();
       rebuild_cache();
       ++result.reinstantiations;
+      if (obs::metrics_enabled()) {
+        static const obs::Counter reinstantiations =
+            obs::Registry::global().counter("engine.reinstantiations");
+        reinstantiations.add();
+      }
+      obs::trace_virtual_instant(config.sim.trace_track, 0, "reinstantiate",
+                                 "scenario", clock,
+                                 static_cast<std::int64_t>(roster.size()));
     }
 
     IterationConditions conditions =
@@ -215,6 +225,14 @@ ScriptResult run_script_scenario(SchemeKind kind, const Cluster& initial,
           condition_rng.bernoulli(burst.probability)) {
         burst_until[b] = clock + burst.duration;
         ++result.bursts_started;
+        if (obs::metrics_enabled()) {
+          static const obs::Counter bursts =
+              obs::Registry::global().counter("engine.bursts");
+          bursts.add();
+        }
+        obs::trace_virtual_instant(config.sim.trace_track, 0, "burst",
+                                   "scenario", clock,
+                                   static_cast<std::int64_t>(b));
       }
       if (clock >= burst_until[b]) continue;
       for (std::size_t id : burst.workers) {
@@ -229,6 +247,8 @@ ScriptResult run_script_scenario(SchemeKind kind, const Cluster& initial,
 
     round_options.decoding_cache =
         decoding_cache ? &*decoding_cache : nullptr;
+    round_options.trace_track = config.sim.trace_track;
+    round_options.trace_time_base = clock;
     const RoundOutcome round =
         run_round(*scheme, active, conditions, link, round_options);
     ++result.iterations_run;
@@ -237,7 +257,15 @@ ScriptResult run_script_scenario(SchemeKind kind, const Cluster& initial,
       // The master gives up after the epoch's ideal round time; without the
       // timeout a fault burst would freeze the clock inside its own window
       // and fail every remaining iteration.
-      clock += ideal_iteration_time(active, config.s);
+      const double timeout = ideal_iteration_time(active, config.s);
+      if (obs::metrics_enabled()) {
+        static const obs::Counter giveups =
+            obs::Registry::global().counter("engine.giveups");
+        giveups.add();
+      }
+      obs::trace_virtual_span(config.sim.trace_track, 0, "giveup",
+                              "scenario", clock, timeout);
+      clock += timeout;
       continue;
     }
     clock += round.time;
@@ -275,10 +303,12 @@ TraceReplayResult replay_trace(SchemeKind kind, const Cluster& cluster,
     decoding_cache.emplace(*scheme, config.decoding_cache_capacity);
   RoundOptions round_options;
   round_options.decoding_cache = decoding_cache ? &*decoding_cache : nullptr;
+  round_options.trace_track = config.sim.trace_track;
 
   double clock = 0.0;
   for (std::size_t iter = 0; iter < iterations; ++iter) {
     const IterationConditions conditions = trace.conditions(iter);
+    round_options.trace_time_base = clock;
     const RoundOutcome round =
         run_round(*scheme, cluster, conditions, link, round_options);
     if (!round.decoded) {

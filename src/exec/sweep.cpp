@@ -5,9 +5,11 @@
 #include <utility>
 
 #include "exec/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "sim/iteration.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 namespace hgc::exec {
@@ -166,21 +168,21 @@ std::vector<Cell> expand(const SweepGrid& grid) {
 
 namespace {
 
-void record_decode_traffic(const SweepOptions& opts, std::size_t hits,
-                           std::size_t misses) {
-  if (!opts.cache_stats) return;
-  opts.cache_stats->decode_hits.fetch_add(hits, std::memory_order_relaxed);
-  opts.cache_stats->decode_misses.fetch_add(misses,
-                                            std::memory_order_relaxed);
+/// The cell's virtual-clock trace track (cell.index + 1; track 0 means
+/// "untracked"). Resolved once per cell body so a disabled tracer costs one
+/// relaxed load per cell, not per round.
+std::uint32_t cell_trace_track(const Cell& cell) {
+  return obs::trace_enabled() ? static_cast<std::uint32_t>(cell.index) + 1
+                              : 0;
 }
 
 CellResult run_static_cell(const Cell& cell, const SweepOptions& opts) {
   ExperimentConfig config = cell.experiment;
   config.scheme_cache = opts.scheme_cache;
   config.decoding_cache_capacity = opts.decoding_cache_capacity;
+  config.sim.trace_track = cell_trace_track(cell);
   const SchemeSummary summary =
       run_experiment(cell.scheme, *cell.cluster, config);
-  record_decode_traffic(opts, summary.decode_hits, summary.decode_misses);
   CellResult result;
   result.stats.emplace_back("time", summary.iteration_time);
   result.stats.emplace_back("usage", summary.resource_usage);
@@ -201,9 +203,9 @@ CellResult run_churn_cell(const Cell& cell, const ScenarioSpec& scenario,
   config.seed = cell.experiment.seed;
   config.events = scenario.churn_events;
   config.decoding_cache_capacity = opts.decoding_cache_capacity;
+  config.sim.trace_track = cell_trace_track(cell);
   const engine::ChurnResult churn =
       engine::run_churn_scenario(cell.scheme, *cell.cluster, config);
-  record_decode_traffic(opts, churn.decode_hits, churn.decode_misses);
   CellResult result;
   result.stats.emplace_back("time", churn.iteration_time);
   result.quantiles.emplace_back("latency", churn.latency);
@@ -225,9 +227,9 @@ CellResult run_script_cell(const Cell& cell, const ScenarioSpec& scenario,
   config.sim = cell.experiment.sim;
   config.seed = cell.experiment.seed;
   config.decoding_cache_capacity = opts.decoding_cache_capacity;
+  config.sim.trace_track = cell_trace_track(cell);
   const engine::ScriptResult run = engine::run_script_scenario(
       cell.scheme, *cell.cluster, scenario.script, config);
-  record_decode_traffic(opts, run.decode_hits, run.decode_misses);
   CellResult result;
   result.stats.emplace_back("time", run.iteration_time);
   result.quantiles.emplace_back("latency", run.latency);
@@ -250,9 +252,9 @@ CellResult run_trace_cell(const Cell& cell, const ScenarioSpec& scenario,
   config.sim = cell.experiment.sim;
   config.seed = cell.experiment.seed;
   config.decoding_cache_capacity = opts.decoding_cache_capacity;
+  config.sim.trace_track = cell_trace_track(cell);
   const engine::TraceReplayResult replay = engine::replay_trace(
       cell.scheme, *cell.cluster, scenario.trace, config);
-  record_decode_traffic(opts, replay.decode_hits, replay.decode_misses);
   CellResult result;
   result.stats.emplace_back("time", replay.iteration_time);
   result.quantiles.emplace_back("latency", replay.latency);
@@ -268,14 +270,39 @@ ResultTable run_sweep(const SweepGrid& grid, const CellFn& fn,
                       const SweepOptions& opts) {
   const std::vector<Cell> cells = expand(grid);
   std::vector<CellResult> results(cells.size());
+  if (obs::metrics_enabled()) {
+    static const obs::Gauge cells_total =
+        obs::Registry::global().gauge("sweep.cells.total");
+    cells_total.set(static_cast<double>(cells.size()));
+  }
   const auto guarded = [&fn](const Cell& cell) -> CellResult {
+    // Per-cell observability: a wall-clock span (arg = cell index, so the
+    // trace row maps back to a ResultTable row), progress counters for
+    // --progress, and a cell-duration stat. All out of band — the
+    // CellResult bytes are untouched.
+    HGC_TRACE_SCOPE("cell", "sweep", static_cast<std::int64_t>(cell.index));
+    const bool metrics = obs::metrics_enabled();
+    Stopwatch timer;
+    CellResult result;
     try {
-      return fn(cell);
+      result = fn(cell);
     } catch (const std::exception& e) {
-      CellResult failed;
-      failed.note = std::string("error: ") + e.what();
-      return failed;
+      result.note = std::string("error: ") + e.what();
+      if (metrics) {
+        static const obs::Counter cells_failed =
+            obs::Registry::global().counter("sweep.cells.failed");
+        cells_failed.add();
+      }
     }
+    if (metrics) {
+      static const obs::Counter cells_done =
+          obs::Registry::global().counter("sweep.cells.done");
+      static const obs::StatHandle cell_seconds =
+          obs::Registry::global().stat("sweep.cell_seconds");
+      cells_done.add();
+      cell_seconds.observe(timer.seconds());
+    }
+    return result;
   };
   ThreadPool pool(opts.threads ? opts.threads : ThreadPool::default_threads());
   for (const Cell& cell : cells)
@@ -283,6 +310,8 @@ ResultTable run_sweep(const SweepGrid& grid, const CellFn& fn,
       results[cell.index] = guarded(cell);
     });
   pool.wait_idle();
+  if (opts.metrics_snapshot)
+    *opts.metrics_snapshot = obs::Registry::global().snapshot();
 
   ResultTable table;
   for (const Cell& cell : cells) {

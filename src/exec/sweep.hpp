@@ -23,7 +23,6 @@
 // results (every factor fully overwrites it), so rule 1 is unaffected.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -36,6 +35,7 @@
 #include "engine/delay_trace.hpp"
 #include "engine/scenario.hpp"
 #include "exec/result_table.hpp"
+#include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 
 namespace hgc::exec {
@@ -144,14 +144,6 @@ struct CellResult {
 /// cells (capture shared inputs by const reference only).
 using CellFn = std::function<CellResult(const Cell&)>;
 
-/// Aggregated decoding-cache traffic across all cells of a sweep. Collected
-/// out of band — never written into the ResultTable — so enabling the caches
-/// cannot change a byte of the sweep's output.
-struct SweepCacheStats {
-  std::atomic<std::size_t> decode_hits{0};
-  std::atomic<std::size_t> decode_misses{0};
-};
-
 struct SweepOptions {
   std::size_t threads = 0;  ///< 0 = ThreadPool::default_threads()
   /// Shared scheme-construction cache (thread-safe; cells differing only in
@@ -160,9 +152,14 @@ struct SweepOptions {
   /// Per-cell decoding-coefficient LRU capacity; 0 = off. Each cell owns its
   /// cache, keeping cells race-free at any thread count.
   std::size_t decoding_cache_capacity = 0;
-  /// When non-null, the built-in cell bodies accumulate decoding-cache
-  /// hits/misses here (scheme-cache stats live on the SchemeCache itself).
-  SweepCacheStats* cache_stats = nullptr;
+  /// When non-null, run_sweep fills this with a merged obs::Registry
+  /// snapshot after the pool drains — cache hit/miss counters, decode-solve
+  /// totals, per-cell timing stats. Out of band by construction: the
+  /// snapshot never feeds back into the ResultTable, so instrumented and
+  /// uninstrumented runs emit identical bytes. (Counters are process-wide
+  /// and cumulative; callers wanting per-sweep deltas reset the registry
+  /// before the run.)
+  obs::Snapshot* metrics_snapshot = nullptr;
 };
 
 /// Expand the grid into cells (cartesian product, deterministic order:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace hgc::exec {
@@ -100,7 +102,15 @@ void ThreadPool::worker_loop(std::size_t self) {
         continue;  // scan again outside the state lock
       }
     }
-    task();
+    {
+      HGC_TRACE_SCOPE("task", "exec", static_cast<std::int64_t>(self));
+      task();
+    }
+    if (obs::metrics_enabled()) {
+      static const obs::Counter tasks =
+          obs::Registry::global().counter("exec.tasks");
+      tasks.add();
+    }
     {
       std::lock_guard<std::mutex> lock(state_mu_);
       if (stolen) ++steals_;

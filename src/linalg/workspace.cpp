@@ -4,6 +4,8 @@
 
 #include "linalg/lu.hpp"
 #include "linalg/qr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hgc {
 
@@ -29,6 +31,16 @@ bool LuWorkspace::factor_cols(const Matrix& a,
 }
 
 bool LuWorkspace::factor_packed() {
+  // Disabled observability cost here is one relaxed load + branch per
+  // handle: this sits under every decode solve and must stay allocation-
+  // free and branch-predictable (BM_KernelLuSolveWorkspace pins it).
+  HGC_TRACE_SCOPE("lu_factor", "linalg",
+                  static_cast<std::int64_t>(lu_.rows()));
+  if (obs::metrics_enabled()) {
+    static const obs::Counter factors =
+        obs::Registry::global().counter("linalg.lu_factors");
+    factors.add();
+  }
   singular_ = !linalg_detail::lu_factor_inplace(lu_, perm_, sign_);
   return !singular_;
 }
@@ -61,6 +73,13 @@ void QrWorkspace::factor_transposed(const RowSelectView& view,
 }
 
 void QrWorkspace::factor_packed(double tolerance) {
+  HGC_TRACE_SCOPE("qr_factor", "linalg",
+                  static_cast<std::int64_t>(qr_.rows()));
+  if (obs::metrics_enabled()) {
+    static const obs::Counter factors =
+        obs::Registry::global().counter("linalg.qr_factors");
+    factors.add();
+  }
   rank_ = linalg_detail::qr_factor_inplace(qr_, beta_, perm_, col_norms_,
                                            update_, tolerance);
 }

@@ -1,0 +1,278 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hgc::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-buffer cap: ~1M events per thread, far above any smoke-sized trace;
+/// beyond it we count drops rather than OOM a million-cell sweep someone
+/// traced by accident.
+constexpr std::size_t kMaxEventsPerThread = 1 << 20;
+
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::uint32_t id = 0;  ///< stable row id for wall events
+  bool in_use = false;   ///< guarded by the tracer state mutex
+};
+
+/// File-local tracer state, leaked for the same reason as the metrics
+/// registry: thread_local buffer leases release during thread teardown,
+/// which can outlive static destructors.
+struct TracerState {
+  std::mutex mu;  ///< guards the buffer list
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  std::atomic<std::int64_t> epoch_ns{0};
+
+  TraceBuffer& acquire() {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& buffer : buffers)
+      if (!buffer->in_use) {
+        buffer->in_use = true;
+        return *buffer;
+      }
+    buffers.push_back(std::make_unique<TraceBuffer>());
+    buffers.back()->in_use = true;
+    buffers.back()->id = static_cast<std::uint32_t>(buffers.size() - 1);
+    return *buffers.back();
+  }
+
+  void release(TraceBuffer& buffer) {
+    std::lock_guard<std::mutex> lock(mu);
+    buffer.in_use = false;  // events stay for write_json
+  }
+};
+
+TracerState& state() {
+  static TracerState* instance = new TracerState();
+  return *instance;
+}
+
+struct BufferLease {
+  TraceBuffer* buffer = nullptr;
+  ~BufferLease() {
+    if (buffer) state().release(*buffer);
+  }
+};
+
+thread_local BufferLease t_buffer_lease;
+
+TraceBuffer& local_buffer() {
+  if (!t_buffer_lease.buffer) t_buffer_lease.buffer = &state().acquire();
+  return *t_buffer_lease.buffer;
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+void set_trace_enabled(bool on) {
+  // Re-anchor the wall epoch on enable so traces start near t = 0.
+  if (on) state().epoch_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+double Tracer::now_us() const {
+  const std::int64_t epoch = state().epoch_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(steady_now_ns() - epoch) * 1e-3;
+}
+
+void Tracer::record(TraceEvent event) {
+  TraceBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (!event.virtual_clock) event.row = buffer.id;
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(event);
+}
+
+void Tracer::reset() {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> block(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::uint64_t Tracer::dropped() const {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t total = 0;
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> block(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+namespace {
+
+constexpr std::uint32_t kWallPid = 1;
+/// Virtual track t maps to pid 1 + t (tracks start at 1, so pids 2, 3, ...)
+/// and the wall process keeps pid 1 to itself.
+constexpr std::uint32_t kVirtualPidBase = 1;
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "0";
+    return;
+  }
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  os.write(buf, result.ptr - buf);
+}
+
+void write_metadata(std::ostream& os, const char* which, std::uint32_t pid,
+                    std::uint32_t tid, bool with_tid, const std::string& name,
+                    const char*& sep) {
+  os << sep << "\n  {\"ph\": \"M\", \"name\": \"" << which
+     << "\", \"pid\": " << pid;
+  if (with_tid) os << ", \"tid\": " << tid;
+  os << ", \"args\": {\"name\": ";
+  write_json_string(os, name);
+  os << "}}";
+  sep = ",";
+}
+
+}  // namespace
+
+void Tracer::write_json(std::ostream& os) const {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  const char* sep = "";
+
+  // Name the processes/threads first so the viewer labels the wall rows by
+  // pool thread and the virtual rows master / worker w.
+  std::set<std::uint32_t> wall_rows;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> virtual_rows;
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> block(buffer->mu);
+    for (const TraceEvent& event : buffer->events) {
+      if (event.virtual_clock)
+        virtual_rows.insert({event.track, event.row});
+      else
+        wall_rows.insert(event.row);
+    }
+  }
+  if (!wall_rows.empty())
+    write_metadata(os, "process_name", kWallPid, 0, false,
+                   "wall clock (sweep execution)", sep);
+  for (std::uint32_t row : wall_rows)
+    write_metadata(os, "thread_name", kWallPid, row, true,
+                   "thread " + std::to_string(row), sep);
+  std::set<std::uint32_t> named_tracks;
+  for (const auto& [track, row] : virtual_rows) {
+    if (named_tracks.insert(track).second)
+      write_metadata(os, "process_name", kVirtualPidBase + track, 0, false,
+                     "virtual clock (cell " + std::to_string(track - 1) + ")",
+                     sep);
+    write_metadata(os, "thread_name", kVirtualPidBase + track, row, true,
+                   row == 0 ? std::string("master")
+                            : "worker " + std::to_string(row - 1),
+                   sep);
+  }
+
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> block(buffer->mu);
+    for (const TraceEvent& event : buffer->events) {
+      const std::uint32_t pid =
+          event.virtual_clock ? kVirtualPidBase + event.track : kWallPid;
+      os << sep << "\n  {\"ph\": \""
+         << (event.phase == TraceEvent::Phase::kComplete ? "X" : "i")
+         << "\", \"name\": ";
+      write_json_string(os, event.name);
+      os << ", \"cat\": ";
+      write_json_string(os, event.cat);
+      os << ", \"pid\": " << pid << ", \"tid\": " << event.row
+         << ", \"ts\": ";
+      write_json_double(os, event.ts_us);
+      if (event.phase == TraceEvent::Phase::kComplete) {
+        os << ", \"dur\": ";
+        write_json_double(os, event.dur_us);
+      } else {
+        os << ", \"s\": \"t\"";
+      }
+      if (event.arg != kNoTraceArg)
+        os << ", \"args\": {\"v\": " << event.arg << "}";
+      os << "}";
+      sep = ",";
+    }
+  }
+  os << "\n]}\n";
+}
+
+// ------------------------------------------------------------- TraceScope --
+
+void TraceScope::begin(const char* name, const char* cat, std::int64_t arg) {
+  name_ = name;
+  cat_ = cat;
+  arg_ = arg;
+  start_us_ = Tracer::global().now_us();
+}
+
+void TraceScope::end() {
+  TraceEvent event;
+  event.name = name_;
+  event.cat = cat_;
+  event.phase = TraceEvent::Phase::kComplete;
+  event.virtual_clock = false;
+  event.ts_us = start_us_;
+  event.dur_us = Tracer::global().now_us() - start_us_;
+  event.arg = arg_;
+  Tracer::global().record(event);
+}
+
+}  // namespace hgc::obs

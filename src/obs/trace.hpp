@@ -1,0 +1,169 @@
+// Dual-clock tracer — Chrome trace_event JSON for the sweep runtime.
+//
+// Two clocks share one file, separated by Chrome's process axis:
+//   * Wall clock (pid 1): real execution. HGC_TRACE_SCOPE spans around
+//     sweep cells, thread-pool tasks, scheme construction, decode solves
+//     and LU/QR factors; one Chrome "thread" row per pool thread.
+//   * Virtual clock (pid 2 + track): the engine's simulated time. Each
+//     sweep cell claims track = cell.index + 1 and lays its rounds out on
+//     rows: row 0 = master (round spans, give-ups, undecodable instants),
+//     row 1 + w = worker w (compute / straggle / transmit spans, fault and
+//     lost-message instants). Virtual seconds are scaled to microseconds so
+//     chrome://tracing (or ui.perfetto.dev) renders both clocks natively.
+//
+// Same cost contract as obs/metrics.hpp: one relaxed atomic load + branch
+// per site when tracing is off. Enabled appends go to per-thread buffers
+// (mutex-guarded, but only write_json/reset ever touch another thread's
+// buffer, so the lock is uncontended on the hot path); buffers cap at
+// kMaxEventsPerThread and count drops instead of growing unboundedly.
+//
+// Event names/categories are `const char*` and must be string literals (or
+// otherwise outlive the tracer) — buffers store the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace hgc::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}
+
+/// True when trace collection is on (relaxed; see obs/metrics.hpp for the
+/// race tolerance rationale).
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enabling (re)captures the wall-clock epoch: wall timestamps are
+/// microseconds since the most recent enable, keeping the trace near t = 0.
+void set_trace_enabled(bool on);
+
+/// Sentinel for "no numeric argument" on an event.
+inline constexpr std::int64_t kNoTraceArg =
+    std::numeric_limits<std::int64_t>::min();
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t { kComplete, kInstant };
+  const char* name = "";
+  const char* cat = "";
+  Phase phase = Phase::kComplete;
+  bool virtual_clock = false;
+  /// Virtual events: track (usually cell.index + 1) picks the Chrome
+  /// process, row the thread (0 = master, 1 + w = worker w). Wall events
+  /// ignore both; their row is the recording thread's buffer id.
+  std::uint32_t track = 0;
+  std::uint32_t row = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< complete spans only
+  std::int64_t arg = kNoTraceArg;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Append to the calling thread's buffer (drop-counting past the cap).
+  /// Wall events get their row stamped from the thread's buffer id.
+  void record(TraceEvent event);
+
+  /// Wall microseconds since the last enable.
+  double now_us() const;
+
+  /// Merge every buffer into one Chrome-loadable JSON object
+  /// ({"traceEvents": [...], "displayTimeUnit": "ms"} plus process/thread
+  /// name metadata). Safe to call while disabled; events stay buffered
+  /// until reset().
+  void write_json(std::ostream& os) const;
+
+  /// Drop all buffered events (buffers stay leased to their threads).
+  void reset();
+
+  /// Total events dropped because a thread buffer was full.
+  std::uint64_t dropped() const;
+
+ private:
+  Tracer() = default;
+};
+
+/// RAII wall-clock span: stamps the start on construction and records a
+/// complete event on destruction. No-op (one load + branch) when tracing
+/// is off at construction time.
+class TraceScope {
+ public:
+  TraceScope(const char* name, const char* cat,
+             std::int64_t arg = kNoTraceArg)
+      : active_(trace_enabled()) {
+    if (active_) begin(name, cat, arg);
+  }
+  ~TraceScope() {
+    if (active_) end();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  void begin(const char* name, const char* cat, std::int64_t arg);
+  void end();
+
+  bool active_;
+  // Deliberately uninitialized unless active_: begin() fills them, and the
+  // disabled path must not pay four dead stores per site.
+  const char* name_;
+  const char* cat_;
+  std::int64_t arg_;
+  double start_us_;
+};
+
+// Declare a scoped wall-clock span: HGC_TRACE_SCOPE("cell", "sweep", idx).
+#define HGC_OBS_CONCAT_IMPL(a, b) a##b
+#define HGC_OBS_CONCAT(a, b) HGC_OBS_CONCAT_IMPL(a, b)
+#define HGC_TRACE_SCOPE(...) \
+  ::hgc::obs::TraceScope HGC_OBS_CONCAT(hgc_trace_scope_, __LINE__)(__VA_ARGS__)
+
+/// Record a virtual-clock span on (track, row); times in virtual seconds.
+/// No-op when tracing is off or track == 0 (the "no track assigned"
+/// sentinel the engine threads through its options).
+inline void trace_virtual_span(std::uint32_t track, std::uint32_t row,
+                               const char* name, const char* cat,
+                               double start_seconds, double duration_seconds,
+                               std::int64_t arg = kNoTraceArg) {
+  if (!trace_enabled() || track == 0) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = TraceEvent::Phase::kComplete;
+  event.virtual_clock = true;
+  event.track = track;
+  event.row = row;
+  event.ts_us = start_seconds * 1e6;
+  event.dur_us = duration_seconds * 1e6;
+  event.arg = arg;
+  Tracer::global().record(event);
+}
+
+/// Record a virtual-clock instant on (track, row) at `t_seconds`.
+inline void trace_virtual_instant(std::uint32_t track, std::uint32_t row,
+                                  const char* name, const char* cat,
+                                  double t_seconds,
+                                  std::int64_t arg = kNoTraceArg) {
+  if (!trace_enabled() || track == 0) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.virtual_clock = true;
+  event.track = track;
+  event.row = row;
+  event.ts_us = t_seconds * 1e6;
+  event.arg = arg;
+  Tracer::global().record(event);
+}
+
+}  // namespace hgc::obs

@@ -65,16 +65,24 @@ SchemeSummary run_experiment(SchemeKind kind, const Cluster& cluster,
   SchemeSummary summary;
   summary.scheme = scheme->name();
   summary.iterations = config.iterations;
+  // Accumulated virtual time, only for laying iterations out end-to-end on
+  // the trace's virtual-clock track; results never read it.
+  double trace_clock = 0.0;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     const IterationConditions conditions = config.model.draw(m, condition_rng);
     if (conditions_log) conditions_log->push_back(conditions);
     const IterationResult result =
         simulate_iteration(*scheme, cluster, conditions, config.sim,
-                           decoding_cache ? &*decoding_cache : nullptr);
+                           decoding_cache ? &*decoding_cache : nullptr,
+                           trace_clock);
     if (!result.decoded) {
       ++summary.failures;
+      // Advance the trace clock past the failed round anyway so its
+      // undecodable marker does not pile onto the next iteration's span.
+      trace_clock += ideal_iteration_time(cluster, config.s);
       continue;
     }
+    trace_clock += result.time;
     summary.iteration_time.add(result.time);
     summary.resource_usage.add(result.resource_usage);
   }

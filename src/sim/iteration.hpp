@@ -23,6 +23,10 @@ namespace hgc {
 struct SimParams {
   /// Fixed result-transfer latency (seconds) added to every arrival.
   double comm_latency = 0.0;
+  /// Observability routing — never affects results. Non-zero assigns the
+  /// virtual-clock trace track the engine lays this run's rounds out on
+  /// (sweep cells use cell.index + 1); 0 = no virtual trace events.
+  std::uint32_t trace_track = 0;
 };
 
 /// Outcome of one simulated iteration.
@@ -49,11 +53,14 @@ struct IterationResult {
 /// `decoding_cache`, when non-null, must wrap `scheme`; callers replaying
 /// many iterations share it so recurring straggler patterns decode from the
 /// LRU instead of re-solving (result-transparent either way).
+/// `trace_time_base` is the caller's accumulated virtual clock, placing this
+/// iteration on the params.trace_track timeline (observability only).
 IterationResult simulate_iteration(const CodingScheme& scheme,
                                    const Cluster& cluster,
                                    const IterationConditions& conditions,
                                    const SimParams& params = {},
-                                   DecodingCache* decoding_cache = nullptr);
+                                   DecodingCache* decoding_cache = nullptr,
+                                   double trace_time_base = 0.0);
 
 /// The balanced-optimum iteration time (s+1)/Σw of Theorem 5 translated to
 /// cluster units (datasets/second); what heter-aware achieves with exact

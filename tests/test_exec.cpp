@@ -161,40 +161,52 @@ TEST(RunSweep, CachesAreResultTransparentAtAnyThreadCount) {
   const SweepGrid grid = small_grid();
   const std::string uncached = csv_of(run_sweep(grid, {.threads = 1}));
 
+  // Collect the cache counters through the obs registry (the sweep-level
+  // stats plumbing the old SweepCacheStats struct used to provide).
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+
   SchemeCache scheme_cache;
-  SweepCacheStats stats;
+  obs::Snapshot snapshot;
   SweepOptions cached_serial;
   cached_serial.threads = 1;
   cached_serial.scheme_cache = &scheme_cache;
   cached_serial.decoding_cache_capacity = 256;
-  cached_serial.cache_stats = &stats;
+  cached_serial.metrics_snapshot = &snapshot;
   EXPECT_EQ(csv_of(run_sweep(grid, cached_serial)), uncached);
 
   SweepOptions cached_parallel = cached_serial;
   cached_parallel.threads = 4;
   EXPECT_EQ(csv_of(run_sweep(grid, cached_parallel)), uncached);
+  obs::set_metrics_enabled(false);
 
   // The grid repeats schemes across seeds/models, so both caches must see
   // real traffic — hit rates, not just equality, prove the wiring is live.
   EXPECT_GT(scheme_cache.hits(), 0u);
-  EXPECT_GT(stats.decode_hits.load() + stats.decode_misses.load(), 0u);
+  EXPECT_GT(snapshot.counter("scheme_cache.hits"), 0u);
+  EXPECT_GT(snapshot.counter("decode_cache.hits") +
+                snapshot.counter("decode_cache.misses"),
+            0u);
 }
 
 TEST(RunSweep, ScenarioCellsAreCacheTransparentToo) {
   SweepGrid grid = scenarios_grid(15);
   grid.schemes = {SchemeKind::kHeterAware};
   const std::string uncached = csv_of(run_sweep(grid, {.threads = 2}));
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
   SweepOptions cached;
   cached.threads = 2;
   SchemeCache scheme_cache;
-  SweepCacheStats stats;
+  obs::Snapshot snapshot;
   cached.scheme_cache = &scheme_cache;
   cached.decoding_cache_capacity = 256;
-  cached.cache_stats = &stats;
+  cached.metrics_snapshot = &snapshot;
   EXPECT_EQ(csv_of(run_sweep(grid, cached)), uncached);
+  obs::set_metrics_enabled(false);
   // Churn/trace cells run tens of rounds against one scheme: the decoding
   // cache must have absorbed repeats.
-  EXPECT_GT(stats.decode_hits.load(), 0u);
+  EXPECT_GT(snapshot.counter("decode_cache.hits"), 0u);
 }
 
 TEST(RunSweep, CustomCellFnSeesCustomAxes) {

@@ -12,12 +12,25 @@ only on gross regressions:
   * an entry whose baseline records `max_allocs_per_iter` must measure an
     allocs_per_iter counter at or below it (the workspace layer's
     zero-steady-state-allocation contract, checked exactly);
+  * an entry whose baseline records `max_real_time_ns` must measure a
+    per-iteration real_time at or below it, whatever time_unit the report
+    used (the obs layer's near-zero-disabled-cost contract);
   * every baseline entry must be present in the report (a silently skipped
-    bench must not pass).
+    bench must not pass);
+  * every baseline key must be one the checker knows how to enforce, and
+    every entry must carry at least one such key — a typoed or stale key
+    fails by name instead of silently checking nothing.
 """
 
 import json
 import sys
+
+# Baseline keys this checker enforces. Anything else in an entry is a typo
+# or a key from a newer checker version — both must fail loudly.
+CHECKED_KEYS = {"mflops", "max_allocs_per_iter", "max_real_time_ns"}
+
+# google-benchmark time_unit -> nanoseconds per unit.
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def main() -> int:
@@ -35,6 +48,18 @@ def main() -> int:
     checked = 0
 
     for name, spec in baseline["benchmarks"].items():
+        unknown = sorted(set(spec) - CHECKED_KEYS)
+        if unknown:
+            failures.append(
+                f"{name}: unknown baseline key(s) {', '.join(unknown)} "
+                f"(checker knows: {', '.join(sorted(CHECKED_KEYS))})"
+            )
+        if not set(spec) & CHECKED_KEYS:
+            failures.append(
+                f"{name}: baseline entry has no checkable key — nothing "
+                f"would be enforced"
+            )
+            continue
         got = results.get(name)
         if got is None:
             failures.append(f"{name}: missing from the benchmark report")
@@ -63,6 +88,23 @@ def main() -> int:
                     f"{name}: allocs_per_iter {float(measured):g} exceeds "
                     f"{ceiling:g}"
                 )
+        if "max_real_time_ns" in spec:
+            checked += 1
+            ceiling = float(spec["max_real_time_ns"])
+            measured = got.get("real_time")
+            unit = got.get("time_unit", "ns")
+            if measured is None or unit not in TIME_UNIT_NS:
+                failures.append(
+                    f"{name}: real_time missing or time_unit {unit!r} "
+                    f"unknown — cannot check max_real_time_ns"
+                )
+            else:
+                measured_ns = float(measured) * TIME_UNIT_NS[unit]
+                if measured_ns > ceiling:
+                    failures.append(
+                        f"{name}: real_time {measured_ns:g} ns exceeds "
+                        f"ceiling {ceiling:g} ns"
+                    )
 
     print(f"check_bench_floor: {checked} floors checked, "
           f"{len(failures)} failures")
