@@ -1,0 +1,247 @@
+// hgc_obs — offline tooling for metrics snapshots.
+//
+//   hgc_obs merge merged.json shard0.json shard1.json ...
+//   hgc_obs diff before.json after.json
+//   hgc_obs top 10 metrics.json
+//   hgc_obs convert metrics.json metrics.prom     # and back
+//
+// The fleet story: every process (or shard of a split sweep) writes its own
+// snapshot with --metrics-out; `merge` folds them with Snapshot::merge, so
+// counters and histogram buckets sum exactly and the totals are identical
+// to an unsplit run (CI asserts this on a split fig3 grid). `diff` turns
+// two snapshots of the same process into per-second rates using the
+// snapshot timestamps; `top` ranks the biggest counters and time sinks;
+// `convert` moves between the exact JSON format and Prometheus text
+// exposition (either direction — input format is sniffed, output format
+// follows the file extension: .prom/.txt = Prometheus, else JSON).
+//
+// File arguments accept '-' for stdin/stdout. Subcommands and positional
+// arguments are deliberate here (unlike the --flag-only sweep CLIs):
+// merge's variadic input list reads naturally as a file list.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using hgc::obs::Snapshot;
+
+void print_usage(std::ostream& os) {
+  os << "usage: hgc_obs <command> [args]\n\n"
+        "commands:\n"
+        "  merge OUT IN [IN...]  fold snapshots into one (counters and\n"
+        "                        histogram buckets sum exactly; gauges keep\n"
+        "                        the freshest value; stats/quantiles merge)\n"
+        "  diff OLD NEW          counter deltas between two snapshots of\n"
+        "                        one process, with per-second rates from\n"
+        "                        the snapshot timestamps\n"
+        "  top [N] IN            the N largest counters and the stats with\n"
+        "                        the most accumulated time (default N=10)\n"
+        "  convert IN OUT        rewrite between JSON and Prometheus text\n"
+        "                        (input sniffed; OUT ending in .prom/.txt\n"
+        "                        selects Prometheus, anything else JSON)\n\n"
+        "IN/OUT accept '-' for stdin/stdout. Inputs may be JSON snapshots\n"
+        "(--metrics-out), recorder JSONL lines, or Prometheus exposition\n"
+        "written by this tool.\n";
+}
+
+std::string slurp(const std::string& path) {
+  std::ostringstream buf;
+  if (path == "-") {
+    buf << std::cin.rdbuf();
+  } else {
+    std::ifstream file(path);
+    if (!file) throw std::invalid_argument("cannot open: " + path);
+    buf << file.rdbuf();
+  }
+  return buf.str();
+}
+
+/// Sniff the format: snapshots are JSON objects; anything else is treated
+/// as Prometheus text. A recorder JSONL file parses too — each line is a
+/// complete snapshot, folded left-to-right (useful for `top` over a log).
+Snapshot read_snapshot(const std::string& path) {
+  const std::string text = slurp(path);
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos)
+    throw std::invalid_argument("empty snapshot input: " + path);
+  if (text[first] != '{') {
+    std::istringstream is(text);
+    std::vector<std::string> skipped;
+    Snapshot snap = Snapshot::read_prometheus(is, &skipped);
+    for (const std::string& name : skipped)
+      std::cerr << "hgc_obs: note: quantile summary '" << name
+                << "' cannot be reconstructed from Prometheus text; "
+                   "dropped\n";
+    return snap;
+  }
+  // One object, or JSONL (one object per line): parse the first line; if
+  // more lines follow, treat each as a snapshot of the same process over
+  // time and keep the last one per gauge/stat while summing nothing —
+  // recorder samples are cumulative, so "latest wins" is just the final
+  // line. A multi-line pretty-printed object lands in the single-parse
+  // branch because its first line alone fails to parse.
+  const std::size_t newline = text.find('\n', first);
+  if (newline != std::string::npos &&
+      text.find_first_not_of(" \t\r\n", newline) != std::string::npos) {
+    try {
+      Snapshot last;
+      bool any = false;
+      std::istringstream lines(text);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        last = Snapshot::read_json(line);
+        any = true;
+      }
+      if (any) return last;
+    } catch (const std::exception&) {
+      // Not JSONL — fall through to whole-document parse.
+    }
+  }
+  return Snapshot::read_json(text);
+}
+
+bool prometheus_extension(const std::string& path) {
+  const auto ends_with = [&path](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".prom") || ends_with(".txt");
+}
+
+void write_snapshot(const Snapshot& snap, const std::string& path) {
+  const auto emit = [&snap, &path](std::ostream& os) {
+    if (prometheus_extension(path))
+      snap.write_prometheus(os);
+    else
+      snap.write_json(os);
+  };
+  if (path == "-") {
+    emit(std::cout);
+    return;
+  }
+  std::ofstream file(path);
+  if (!file) throw std::invalid_argument("cannot open for write: " + path);
+  emit(file);
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+  if (args.size() < 2)
+    throw std::invalid_argument("merge wants OUT and at least one IN");
+  Snapshot merged = read_snapshot(args[1]);
+  for (std::size_t i = 2; i < args.size(); ++i)
+    merged.merge(read_snapshot(args[i]));
+  write_snapshot(merged, args[0]);
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() != 2) throw std::invalid_argument("diff wants OLD and NEW");
+  const Snapshot before = read_snapshot(args[0]);
+  const Snapshot after = read_snapshot(args[1]);
+  const double seconds =
+      static_cast<double>(after.unix_ns - before.unix_ns) * 1e-9;
+  if (seconds > 0)
+    std::printf("# interval: %.3fs\n", seconds);
+  else
+    std::printf("# interval: unknown (snapshots carry no timestamps)\n");
+  std::printf("%-40s %14s %14s %14s %12s\n", "counter", "old", "new", "delta",
+              "rate/s");
+  // Union of names, in the sorted order the maps already keep.
+  std::vector<std::string> names;
+  for (const auto& [name, value] : before.counters) names.push_back(name);
+  for (const auto& [name, value] : after.counters)
+    if (!before.counters.count(name)) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const std::uint64_t oldv = before.counter(name);
+    const std::uint64_t newv = after.counter(name);
+    const double delta =
+        static_cast<double>(newv) - static_cast<double>(oldv);
+    std::printf("%-40s %14llu %14llu %+14.0f", name.c_str(),
+                static_cast<unsigned long long>(oldv),
+                static_cast<unsigned long long>(newv), delta);
+    if (seconds > 0)
+      std::printf(" %12.2f", delta / seconds);
+    else
+      std::printf(" %12s", "-");
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_top(const std::vector<std::string>& args) {
+  std::size_t n = 10;
+  std::string path;
+  if (args.size() == 1) {
+    path = args[0];
+  } else if (args.size() == 2) {
+    n = static_cast<std::size_t>(std::stoul(args[0]));
+    path = args[1];
+  } else {
+    throw std::invalid_argument("top wants [N] IN");
+  }
+  const Snapshot snap = read_snapshot(path);
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters(
+      snap.counters.begin(), snap.counters.end());
+  std::stable_sort(counters.begin(), counters.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::printf("top counters:\n");
+  for (std::size_t i = 0; i < std::min(n, counters.size()); ++i)
+    std::printf("  %-40s %14llu\n", counters[i].first.c_str(),
+                static_cast<unsigned long long>(counters[i].second));
+
+  std::vector<std::pair<std::string, const hgc::RunningStats*>> stats;
+  for (const auto& [name, s] : snap.stats) stats.emplace_back(name, &s);
+  std::stable_sort(stats.begin(), stats.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->sum() > b.second->sum();
+                   });
+  if (!stats.empty()) std::printf("top time sinks (stat sums):\n");
+  for (std::size_t i = 0; i < std::min(n, stats.size()); ++i)
+    std::printf("  %-40s sum %.6g over %llu obs (mean %.6g)\n",
+                stats[i].first.c_str(), stats[i].second->sum(),
+                static_cast<unsigned long long>(stats[i].second->count()),
+                stats[i].second->mean());
+  return 0;
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  if (args.size() != 2) throw std::invalid_argument("convert wants IN OUT");
+  write_snapshot(read_snapshot(args[0]), args[1]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty() || args[0] == "--help" || args[0] == "help") {
+      print_usage(args.empty() ? std::cerr : std::cout);
+      return args.empty() ? 2 : 0;
+    }
+    const std::string command = args[0];
+    args.erase(args.begin());
+    if (command == "merge") return cmd_merge(args);
+    if (command == "diff") return cmd_diff(args);
+    if (command == "top") return cmd_top(args);
+    if (command == "convert") return cmd_convert(args);
+    print_usage(std::cerr);
+    throw std::invalid_argument("unknown command: " + command);
+  } catch (const std::exception& e) {
+    std::cerr << "hgc_obs: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -13,11 +13,13 @@
 // cores); output is bit-identical at any thread count, so `--threads 1`
 // and `--threads 64` runs of the same grid diff clean. The run summary
 // goes to stderr, keeping stdout pure data. Observability is equally
-// out-of-band: --metrics-out / --trace-out / --progress never change a
-// byte of the CSV/JSON results (CI diffs the two).
+// out-of-band: --metrics-out / --metrics-interval / --trace-out /
+// --progress never change a byte of the CSV/JSON results (CI diffs the
+// two).
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -58,13 +60,20 @@ void print_usage(std::ostream& os) {
         "  --metrics-out F    write the merged metrics-registry snapshot\n"
         "                     (cache hit/miss, decode solves, per-cell\n"
         "                     timing) as JSON to F after the run\n"
+        "  --metrics-interval S\n"
+        "                     sample the metrics registry every S seconds\n"
+        "                     on a background thread (default off; read-\n"
+        "                     only, results stay byte-identical)\n"
+        "  --metrics-log F    append each sample as one JSON line to F\n"
+        "                     (JSONL; requires --metrics-interval; analyze\n"
+        "                     with hgc_obs diff/top)\n"
         "  --trace-out F      record a dual-clock Chrome trace_event file\n"
         "                     to F: wall-clock sweep/solve spans plus one\n"
         "                     virtual-clock track per cell (open in\n"
         "                     chrome://tracing or ui.perfetto.dev)\n"
-        "  --progress         report cells-done/total + elapsed to stderr\n"
-        "                     while the sweep runs (off by default; stdout\n"
-        "                     is never touched)\n"
+        "  --progress         report cells-done/total, cells/sec and ETA\n"
+        "                     to stderr while the sweep runs (off by\n"
+        "                     default; stdout is never touched)\n"
         "  --pivot R,C,M      print a pivot table: rows=axis R, cols=axis\n"
         "                     C, cells=metric M\n"
         "  --aggregate AXIS   collapse AXIS (e.g. seed) by exact merge\n"
@@ -84,9 +93,11 @@ void write_output(const std::string& path, Emit emit) {
 }
 
 /// --progress: a background thread rewriting one stderr line from the
-/// metrics registry (cells done / total / elapsed) every half second.
-/// stdout is never touched, and the thread joins before any output is
-/// written, so data and progress cannot interleave.
+/// metrics registry every half second — cells done / total (the registry's
+/// sweep.cells.total gauge, falling back to the grid size), throughput
+/// from the done counter, and the ETA those two imply. stdout is never
+/// touched, and the thread joins before any output is written, so data
+/// and progress cannot interleave.
 class ProgressReporter {
  public:
   explicit ProgressReporter(std::size_t total) : total_(total) {
@@ -114,14 +125,30 @@ class ProgressReporter {
                    [this] { return stopped_; });
       if (stopped_) break;
       lock.unlock();
-      const std::uint64_t done =
-          hgc::obs::Registry::global().snapshot().counter("sweep.cells.done");
+      const hgc::obs::Snapshot snap = hgc::obs::Registry::global().snapshot();
+      const std::uint64_t done = snap.counter("sweep.cells.done");
+      const double total_gauge = snap.gauge("sweep.cells.total");
+      const std::size_t total =
+          total_gauge > 0 ? static_cast<std::size_t>(total_gauge) : total_;
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
-      std::cerr << "\r# progress: " << done << "/" << total_ << " cells, "
-                << static_cast<int>(elapsed) << "s elapsed" << std::flush;
+      const double rate =
+          elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0;
+      std::cerr << "\r# progress: " << done << "/" << total << " cells, "
+                << static_cast<int>(elapsed) << "s elapsed";
+      if (rate > 0 && done > 0) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ", %.1f cells/s", rate);
+        std::cerr << buf;
+        if (done < total)
+          std::cerr << ", ETA "
+                    << static_cast<int>(
+                           static_cast<double>(total - done) / rate + 0.5)
+                    << "s";
+      }
+      std::cerr << "    " << std::flush;  // pad over a shrinking line
       printed_ = true;
       lock.lock();
     }
@@ -162,6 +189,8 @@ int main(int argc, char** argv) {
     const std::vector<std::string> scenario_files =
         args.get_list("scenario-file");
     const std::string metrics_path = args.get("metrics-out", "");
+    const double metrics_interval = args.get_double("metrics-interval", 0.0);
+    const std::string metrics_log_path = args.get("metrics-log", "");
     const std::string trace_path = args.get("trace-out", "");
     const bool progress = args.get_bool("progress", false);
     bool use_cache = args.get_bool("cache", true);
@@ -221,6 +250,18 @@ int main(int argc, char** argv) {
     }
     obs::Snapshot metrics;
     options.metrics_snapshot = &metrics;
+    std::ofstream metrics_log;
+    if (!metrics_log_path.empty()) {
+      if (metrics_interval <= 0.0)
+        throw std::invalid_argument(
+            "--metrics-log needs --metrics-interval to produce samples");
+      metrics_log.open(metrics_log_path);
+      if (!metrics_log)
+        throw std::invalid_argument("cannot open for write: " +
+                                    metrics_log_path);
+      options.metrics_log = &metrics_log;
+    }
+    options.metrics_interval_seconds = metrics_interval;
     const std::size_t resolved_threads =
         threads != 0 ? threads : exec::ThreadPool::default_threads();
 
@@ -269,12 +310,10 @@ int main(int argc, char** argv) {
                    [&](std::ostream& os) { metrics.write_json(os); });
     if (!trace_path.empty()) {
       obs::set_trace_enabled(false);
+      // write_json itself warns on stderr when events were dropped.
       write_output(trace_path, [&](std::ostream& os) {
         obs::Tracer::global().write_json(os);
       });
-      if (const std::uint64_t dropped = obs::Tracer::global().dropped())
-        std::cerr << "# trace: " << dropped
-                  << " events dropped (per-thread buffer full)\n";
     }
 
     bool wrote = false;

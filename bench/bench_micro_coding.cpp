@@ -625,6 +625,43 @@ void BM_ObsOverheadTraceScopeEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsOverheadTraceScopeEnabled)->Iterations(1 << 18);
 
+// Snapshot-path costs: aggregation and the fleet-merge fold. Neither is on
+// a solve hot path (snapshots happen at recorder/exit frequency), so the
+// baseline ceilings are gross-regression guards only.
+
+void BM_ObsSnapshotRegistry(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().counter("bench.snap_counter").add(7);
+  obs::Registry::global().gauge("bench.snap_gauge").set(2.5);
+  obs::Registry::global()
+      .histogram("bench.snap_hist", {1e-6, 1e-4, 1e-2, 1.0})
+      .observe(0.5);
+  obs::Registry::global().stat("bench.snap_stat").observe(1.0);
+  for (auto _ : state) {
+    obs::Snapshot snap = obs::Registry::global().snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+  obs::set_metrics_enabled(false);
+}
+BENCHMARK(BM_ObsSnapshotRegistry);
+
+void BM_ObsSnapshotMerge(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().counter("bench.snap_counter").add(7);
+  obs::Registry::global()
+      .histogram("bench.snap_hist", {1e-6, 1e-4, 1e-2, 1.0})
+      .observe(0.5);
+  obs::Registry::global().stat("bench.snap_stat").observe(1.0);
+  const obs::Snapshot shard = obs::Registry::global().snapshot();
+  obs::set_metrics_enabled(false);
+  for (auto _ : state) {
+    obs::Snapshot merged = shard;
+    merged.merge(shard);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_ObsSnapshotMerge);
+
 }  // namespace
 
 // Custom main: split our flags from google-benchmark's. `--json out.json`

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <utility>
 
 #include "exec/thread_pool.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sim/iteration.hpp"
 #include "util/error.hpp"
@@ -304,12 +306,24 @@ ResultTable run_sweep(const SweepGrid& grid, const CellFn& fn,
     }
     return result;
   };
+  std::unique_ptr<obs::Recorder> recorder;
+  if (opts.metrics_interval_seconds > 0.0) {
+    obs::RecorderOptions ropts;
+    ropts.interval_seconds = opts.metrics_interval_seconds;
+    ropts.jsonl = opts.metrics_log;
+    recorder = std::make_unique<obs::Recorder>(ropts);
+    recorder->start();
+  }
   ThreadPool pool(opts.threads ? opts.threads : ThreadPool::default_threads());
   for (const Cell& cell : cells)
     pool.submit([&guarded, &cell, &results] {
       results[cell.index] = guarded(cell);
     });
   pool.wait_idle();
+  if (recorder) {
+    recorder->stop();
+    if (opts.metrics_series) *opts.metrics_series = recorder->samples();
+  }
   if (opts.metrics_snapshot)
     *opts.metrics_snapshot = obs::Registry::global().snapshot();
 

@@ -160,6 +160,16 @@ struct SweepOptions {
   /// and cumulative; callers wanting per-sweep deltas reset the registry
   /// before the run.)
   obs::Snapshot* metrics_snapshot = nullptr;
+  /// > 0 runs an obs::Recorder for the duration of the sweep, sampling the
+  /// registry every interval on a background thread. Read-only against the
+  /// registry, so the ResultTable stays byte-identical with it on or off.
+  double metrics_interval_seconds = 0.0;
+  /// Optional recorder sink: one compact snapshot JSON per line (JSONL),
+  /// appended at every sample. Not owned; ignored unless the recorder runs.
+  std::ostream* metrics_log = nullptr;
+  /// When non-null (and the recorder ran), filled with the recorder's ring
+  /// contents — the last ~600 samples, oldest first — after the pool drains.
+  std::vector<obs::Snapshot>* metrics_series = nullptr;
 };
 
 /// Expand the grid into cells (cartesian product, deterministic order:

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <bit>
-#include <charconv>
-#include <cmath>
-#include <ostream>
+#include <chrono>
 #include <stdexcept>
 
 namespace hgc::obs {
@@ -60,8 +58,19 @@ void Histogram::observe_enabled(double x) const {
   const double* end = bounds + num_bounds;
   const auto bucket =
       static_cast<std::uint32_t>(std::lower_bound(bounds, end, x) - bounds);
-  detail::local_shard().slots[first_slot + bucket].fetch_add(
-      1, std::memory_order_relaxed);
+  detail::Shard& shard = detail::local_shard();
+  shard.slots[first_slot + bucket].fetch_add(1, std::memory_order_relaxed);
+  // The sum slot holds a bit-cast double. CAS-add instead of fetch_add:
+  // the shard belongs to this thread, so the loop runs once in practice —
+  // only a concurrent snapshot() ever reads it, and never writes.
+  std::atomic<std::uint64_t>& sum_slot =
+      shard.slots[first_slot + num_bounds + 1];
+  std::uint64_t observed = sum_slot.load(std::memory_order_relaxed);
+  while (!sum_slot.compare_exchange_weak(
+      observed, std::bit_cast<std::uint64_t>(
+                    std::bit_cast<double>(observed) + x),
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
 }
 
 void StatHandle::observe_enabled(double x) const {
@@ -78,141 +87,8 @@ void QuantileHandle::observe_enabled(double x) const {
   shard.quantiles[index].add(x);
 }
 
-// --------------------------------------------------------------- snapshot --
-
-std::uint64_t HistogramSnapshot::total() const {
-  std::uint64_t n = 0;
-  for (std::uint64_t c : counts) n += c;
-  return n;
-}
-
-std::uint64_t Snapshot::counter(const std::string& name) const {
-  const auto it = counters.find(name);
-  return it == counters.end() ? 0 : it->second;
-}
-
-namespace {
-
-void write_json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-void write_json_double(std::ostream& os, double v) {
-  // JSON has no Infinity/NaN; null keeps the file parseable.
-  if (!std::isfinite(v)) {
-    os << "null";
-    return;
-  }
-  char buf[32];
-  const auto result =
-      std::to_chars(buf, buf + sizeof(buf), v);
-  os.write(buf, result.ptr - buf);
-}
-
-}  // namespace
-
-void Snapshot::write_json(std::ostream& os) const {
-  os << "{\n";
-
-  os << "  \"counters\": {";
-  const char* sep = "";
-  for (const auto& [name, value] : counters) {
-    os << sep << "\n    ";
-    write_json_string(os, name);
-    os << ": " << value;
-    sep = ",";
-  }
-  os << (counters.empty() ? "" : "\n  ") << "},\n";
-
-  os << "  \"gauges\": {";
-  sep = "";
-  for (const auto& [name, value] : gauges) {
-    os << sep << "\n    ";
-    write_json_string(os, name);
-    os << ": ";
-    write_json_double(os, value);
-    sep = ",";
-  }
-  os << (gauges.empty() ? "" : "\n  ") << "},\n";
-
-  os << "  \"histograms\": {";
-  sep = "";
-  for (const auto& [name, h] : histograms) {
-    os << sep << "\n    ";
-    write_json_string(os, name);
-    os << ": {\"bounds\": [";
-    const char* isep = "";
-    for (double b : h.bounds) {
-      os << isep;
-      write_json_double(os, b);
-      isep = ", ";
-    }
-    os << "], \"counts\": [";
-    isep = "";
-    for (std::uint64_t c : h.counts) {
-      os << isep << c;
-      isep = ", ";
-    }
-    os << "], \"total\": " << h.total() << "}";
-    sep = ",";
-  }
-  os << (histograms.empty() ? "" : "\n  ") << "},\n";
-
-  os << "  \"stats\": {";
-  sep = "";
-  for (const auto& [name, s] : stats) {
-    os << sep << "\n    ";
-    write_json_string(os, name);
-    os << ": {\"count\": " << s.count() << ", \"mean\": ";
-    write_json_double(os, s.mean());
-    os << ", \"stddev\": ";
-    write_json_double(os, s.stddev());
-    os << ", \"min\": ";
-    write_json_double(os, s.min());
-    os << ", \"max\": ";
-    write_json_double(os, s.max());
-    os << "}";
-    sep = ",";
-  }
-  os << (stats.empty() ? "" : "\n  ") << "},\n";
-
-  os << "  \"quantiles\": {";
-  sep = "";
-  for (const auto& [name, q] : quantiles) {
-    os << sep << "\n    ";
-    write_json_string(os, name);
-    os << ": {\"count\": " << q.count();
-    if (q.count() > 0) {
-      os << ", \"p50\": ";
-      write_json_double(os, q.p50());
-      os << ", \"p95\": ";
-      write_json_double(os, q.p95());
-      os << ", \"p99\": ";
-      write_json_double(os, q.p99());
-    }
-    os << "}";
-    sep = ",";
-  }
-  os << (quantiles.empty() ? "" : "\n  ") << "}\n";
-
-  os << "}\n";
-}
+// Snapshot serialization (write_json/read_json/merge/prometheus) lives in
+// obs/snapshot.cpp — this file owns the registry and the hot-path handles.
 
 // --------------------------------------------------------------- registry --
 
@@ -277,7 +153,7 @@ const Registry::Entry& Registry::register_entry(const std::string& name,
             "obs: histogram '" + name +
             "' needs strictly increasing, non-empty bounds");
       const std::uint32_t slots =
-          static_cast<std::uint32_t>(bounds.size()) + 1;  // + overflow
+          static_cast<std::uint32_t>(bounds.size()) + 2;  // + overflow + sum
       if (next_slot_ + slots > detail::kMaxSlots)
         throw std::length_error("obs: histogram slot budget exhausted");
       entry.index = next_slot_;
@@ -324,6 +200,9 @@ QuantileHandle Registry::quantile(const std::string& name) {
 Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
+  snap.unix_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count();
 
   // Sum the slot-backed instruments across every shard (live and released —
   // released shards still hold counts from threads that exited).
@@ -340,8 +219,10 @@ Snapshot Registry::snapshot() const {
         snap.counters[name] = slot_sum(entry.index);
         break;
       case Kind::kGauge:
-        snap.gauges[name] = std::bit_cast<double>(
-            gauges_[entry.index].load(std::memory_order_relaxed));
+        snap.gauges[name] = GaugeSnapshot{
+            std::bit_cast<double>(
+                gauges_[entry.index].load(std::memory_order_relaxed)),
+            snap.unix_ns};
         break;
       case Kind::kHistogram: {
         HistogramSnapshot h;
@@ -349,6 +230,10 @@ Snapshot Registry::snapshot() const {
         h.counts.resize(entry.num_bounds + 1);
         for (std::uint32_t b = 0; b <= entry.num_bounds; ++b)
           h.counts[b] = slot_sum(entry.index + b);
+        for (const auto& shard : shards_)
+          h.sum += std::bit_cast<double>(
+              shard->slots[entry.index + entry.num_bounds + 1].load(
+                  std::memory_order_relaxed));
         snap.histograms[name] = std::move(h);
         break;
       }

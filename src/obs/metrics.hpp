@@ -115,7 +115,9 @@ struct Gauge {
 
 /// Fixed-bucket histogram handle. Bucket b counts samples with
 /// x <= bounds[b] (upper-inclusive); the final slot is the overflow bucket
-/// for x > bounds.back().
+/// for x > bounds.back(). One extra slot accumulates the sum of observed
+/// values (bit-cast double, CAS-added — uncontended on the per-thread
+/// shard) so the Prometheus exposition can emit the standard `_sum` series.
 struct Histogram {
   std::uint32_t first_slot = 0;
   std::uint32_t num_bounds = 0;
@@ -151,12 +153,35 @@ struct QuantileHandle {
 struct HistogramSnapshot {
   std::vector<double> bounds;        ///< upper-inclusive bucket bounds
   std::vector<std::uint64_t> counts; ///< bounds.size() + 1 (overflow last)
+  double sum = 0.0;                  ///< sum of observed values
   std::uint64_t total() const;
+
+  friend bool operator==(const HistogramSnapshot& a,
+                         const HistogramSnapshot& b) {
+    return a.bounds == b.bounds && a.counts == b.counts && a.sum == b.sum;
+  }
+};
+
+/// A gauge value plus the wall time of the snapshot it came from — merge
+/// resolves conflicting gauges last-write-wins by this timestamp, so the
+/// freshest shard's reading survives a fleet fold regardless of merge
+/// order (ties break toward the larger value, keeping merge commutative).
+struct GaugeSnapshot {
+  double value = 0.0;
+  std::int64_t ts_unix_ns = 0;
+
+  friend bool operator==(const GaugeSnapshot& a, const GaugeSnapshot& b) {
+    return a.value == b.value && a.ts_unix_ns == b.ts_unix_ns;
+  }
 };
 
 struct Snapshot {
+  /// Wall time (unix epoch, ns) when Registry::snapshot() ran; 0 on a
+  /// default-constructed snapshot. hgc_obs diff turns two timestamps into
+  /// per-second rates; merge keeps the max.
+  std::int64_t unix_ns = 0;
   std::map<std::string, std::uint64_t> counters;
-  std::map<std::string, double> gauges;
+  std::map<std::string, GaugeSnapshot> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
   std::map<std::string, RunningStats> stats;
   std::map<std::string, ReservoirQuantiles> quantiles;
@@ -166,8 +191,53 @@ struct Snapshot {
   /// registered it yet").
   std::uint64_t counter(const std::string& name) const;
 
-  /// Stable JSON: one object per instrument kind, keys sorted (std::map).
-  void write_json(std::ostream& os) const;
+  /// Named gauge value; 0.0 when never registered.
+  double gauge(const std::string& name) const;
+
+  /// Stable JSON: one object per instrument kind, keys sorted (std::map),
+  /// doubles in shortest-round-trip form (to_chars), 64-bit integers as
+  /// exact integer tokens. `compact` collapses all whitespace to one line
+  /// (the recorder's JSONL format). read_json(write_json(s)) == s to the
+  /// bit either way.
+  void write_json(std::ostream& os, bool compact = false) const;
+
+  /// Parse a snapshot written by write_json. Tolerates the PR 6 format
+  /// (gauges as bare numbers → timestamp 0, stats without "m2" → derived
+  /// from stddev); throws std::runtime_error on malformed input.
+  static Snapshot read_json(std::istream& is);
+  static Snapshot read_json(const std::string& text);
+
+  /// Fold another snapshot into this one — the fleet-merge primitive.
+  /// Exact and associative: counters and histogram buckets sum, histogram
+  /// sums add, gauges resolve last-write-wins by timestamp, stats and
+  /// quantiles merge via RunningStats::merge / ReservoirQuantiles::merge
+  /// (counts exact; floating-point moments agree across merge orders to
+  /// rounding). Throws std::invalid_argument when the same histogram name
+  /// arrives with different bucket bounds.
+  void merge(const Snapshot& other);
+
+  /// Prometheus text exposition (version 0.0.4): counters as `_total`,
+  /// histograms as cumulative `_bucket{le=...}` + `_sum`/`_count`, stats
+  /// as `_sum`/`_count` summaries plus `_mean`/`_min`/`_max`/`_stddev`
+  /// gauges,
+  /// quantile estimators as summaries with `quantile` labels. Original
+  /// dotted metric names ride along in `# HELP` lines so read_prometheus
+  /// can restore them.
+  void write_prometheus(std::ostream& os) const;
+
+  /// Parse write_prometheus output back into a snapshot. Counters, gauges
+  /// and histograms round-trip; stats come back with count/mean/min/max
+  /// exact and variance reconstructed from the stddev line; quantile
+  /// summaries cannot be reconstructed (their reservoir state is not in
+  /// the exposition) and are reported via `skipped` instead.
+  static Snapshot read_prometheus(std::istream& is,
+                                  std::vector<std::string>* skipped = nullptr);
+
+  friend bool operator==(const Snapshot& a, const Snapshot& b) {
+    return a.unix_ns == b.unix_ns && a.counters == b.counters &&
+           a.gauges == b.gauges && a.histograms == b.histograms &&
+           a.stats == b.stats && a.quantiles == b.quantiles;
+  }
 };
 
 /// The process-wide registry. Registration is mutex-guarded and expected at

@@ -1,0 +1,82 @@
+#include "obs/recorder.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace hgc::obs {
+
+Recorder::Recorder(RecorderOptions opts) : opts_(opts) {
+  if (opts_.ring_capacity == 0)
+    throw std::invalid_argument("obs: recorder ring capacity must be > 0");
+  ring_.reserve(opts_.ring_capacity);
+}
+
+Recorder::~Recorder() { stop(); }
+
+void Recorder::start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) return;
+  if (!(opts_.interval_seconds > 0.0))
+    throw std::invalid_argument("obs: recorder interval must be > 0");
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Recorder::stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+std::vector<Snapshot> Recorder::samples() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<Snapshot> out;
+  out.reserve(ring_.size());
+  // Oldest first: once full, ring_next_ points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  return out;
+}
+
+void Recorder::sample_once(std::unique_lock<std::mutex>& lock) {
+  // Snapshot outside the recorder lock: Registry::snapshot() takes the
+  // registry mutex and per-shard sample locks, and samples() callers must
+  // not wait on that.
+  lock.unlock();
+  Snapshot snap = Registry::global().snapshot();
+  lock.lock();
+  if (opts_.jsonl) {
+    snap.write_json(*opts_.jsonl, /*compact=*/true);
+    *opts_.jsonl << '\n';
+  }
+  if (ring_.size() < opts_.ring_capacity) {
+    ring_.push_back(std::move(snap));
+  } else {
+    ring_[ring_next_] = std::move(snap);
+    ring_next_ = (ring_next_ + 1) % opts_.ring_capacity;
+  }
+}
+
+void Recorder::run() {
+  const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(opts_.interval_seconds));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    sample_once(lock);
+  }
+  // Final sample on the way out so even runs shorter than one interval
+  // record their end state.
+  sample_once(lock);
+}
+
+}  // namespace hgc::obs

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <chrono>
 #include <cmath>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -10,6 +11,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace hgc::obs {
 
@@ -23,8 +26,13 @@ using Clock = std::chrono::steady_clock;
 
 /// Per-buffer cap: ~1M events per thread, far above any smoke-sized trace;
 /// beyond it we count drops rather than OOM a million-cell sweep someone
-/// traced by accident.
-constexpr std::size_t kMaxEventsPerThread = 1 << 20;
+/// traced by accident. Settable (set_trace_buffer_capacity) so tests can
+/// exercise the drop path without a million-event warmup.
+std::atomic<std::size_t> g_buffer_cap{1 << 20};
+
+/// Arms the one-time incomplete-trace warning write_json prints to stderr;
+/// reset() re-arms it alongside clearing the drop counts it reports.
+std::atomic<bool> g_drop_warned{false};
 
 struct TraceBuffer {
   std::mutex mu;
@@ -99,6 +107,10 @@ void set_trace_enabled(bool on) {
   detail::g_trace_enabled.store(on, std::memory_order_relaxed);
 }
 
+void set_trace_buffer_capacity(std::size_t cap) {
+  g_buffer_cap.store(cap, std::memory_order_relaxed);
+}
+
 double Tracer::now_us() const {
   const std::int64_t epoch = state().epoch_ns.load(std::memory_order_relaxed);
   return static_cast<double>(steady_now_ns() - epoch) * 1e-3;
@@ -108,8 +120,15 @@ void Tracer::record(TraceEvent event) {
   TraceBuffer& buffer = local_buffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
   if (!event.virtual_clock) event.row = buffer.id;
-  if (buffer.events.size() >= kMaxEventsPerThread) {
+  if (buffer.events.size() >= g_buffer_cap.load(std::memory_order_relaxed)) {
     ++buffer.dropped;
+    if (metrics_enabled()) {
+      // Cross-posted to the metrics registry so a fleet merge can total
+      // trace loss without reading every trace file.
+      static const Counter dropped_events =
+          Registry::global().counter("obs.trace.dropped_events");
+      dropped_events.add();
+    }
     return;
   }
   buffer.events.push_back(event);
@@ -123,6 +142,7 @@ void Tracer::reset() {
     buffer->events.clear();
     buffer->dropped = 0;
   }
+  g_drop_warned.store(false, std::memory_order_relaxed);
 }
 
 std::uint64_t Tracer::dropped() const {
@@ -198,8 +218,10 @@ void Tracer::write_json(std::ostream& os) const {
   // pool thread and the virtual rows master / worker w.
   std::set<std::uint32_t> wall_rows;
   std::set<std::pair<std::uint32_t, std::uint32_t>> virtual_rows;
+  std::uint64_t total_dropped = 0;
   for (const auto& buffer : s.buffers) {
     std::lock_guard<std::mutex> block(buffer->mu);
+    total_dropped += buffer->dropped;
     for (const TraceEvent& event : buffer->events) {
       if (event.virtual_clock)
         virtual_rows.insert({event.track, event.row});
@@ -251,7 +273,14 @@ void Tracer::write_json(std::ostream& os) const {
       sep = ",";
     }
   }
-  os << "\n]}\n";
+  os << "\n], \"droppedEvents\": " << total_dropped << "}\n";
+
+  if (total_dropped > 0 &&
+      !g_drop_warned.exchange(true, std::memory_order_relaxed)) {
+    std::cerr << "hgc: warning: trace buffer overflow — " << total_dropped
+              << " event(s) dropped; the trace file is incomplete (raise the "
+                 "buffer cap with set_trace_buffer_capacity)\n";
+  }
 }
 
 // ------------------------------------------------------------- TraceScope --

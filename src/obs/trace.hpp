@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
@@ -41,6 +42,11 @@ inline bool trace_enabled() {
 /// Enabling (re)captures the wall-clock epoch: wall timestamps are
 /// microseconds since the most recent enable, keeping the trace near t = 0.
 void set_trace_enabled(bool on);
+
+/// Override the per-thread buffer cap (default 1M events). Mostly a test
+/// knob — production traces should raise it rather than silently dropping.
+/// Applies to subsequent record() calls; events already buffered stay.
+void set_trace_buffer_capacity(std::size_t cap);
 
 /// Sentinel for "no numeric argument" on an event.
 inline constexpr std::int64_t kNoTraceArg =
@@ -77,15 +83,19 @@ class Tracer {
   double now_us() const;
 
   /// Merge every buffer into one Chrome-loadable JSON object
-  /// ({"traceEvents": [...], "displayTimeUnit": "ms"} plus process/thread
-  /// name metadata). Safe to call while disabled; events stay buffered
-  /// until reset().
+  /// ({"traceEvents": [...], "displayTimeUnit": "ms", "droppedEvents": N}
+  /// plus process/thread name metadata). Safe to call while disabled;
+  /// events stay buffered until reset(). When N > 0 a one-time warning
+  /// goes to stderr — the file is valid but incomplete.
   void write_json(std::ostream& os) const;
 
-  /// Drop all buffered events (buffers stay leased to their threads).
+  /// Drop all buffered events (buffers stay leased to their threads) and
+  /// re-arm the write_json incomplete-trace warning.
   void reset();
 
-  /// Total events dropped because a thread buffer was full.
+  /// Total events dropped because a thread buffer was full. Also exported
+  /// as the `obs.trace.dropped_events` registry counter when metrics are
+  /// enabled at drop time.
   std::uint64_t dropped() const;
 
  private:

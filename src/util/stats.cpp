@@ -44,6 +44,18 @@ void RunningStats::merge(const RunningStats& other) {
   count_ += other.count_;
 }
 
+RunningStats RunningStats::from_parts(std::size_t count, double mean,
+                                      double m2, double min, double max) {
+  RunningStats s;
+  if (count == 0) return s;  // an empty accumulator is all-zeros by class
+  s.count_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 ReservoirQuantiles::ReservoirQuantiles(std::size_t capacity,
                                        std::uint64_t seed)
     : capacity_(capacity), state_(seed) {
@@ -66,6 +78,21 @@ void ReservoirQuantiles::add(double x) {
   // Algorithm R: keep the new sample with probability capacity / count.
   const std::uint64_t slot = next_u64() % count_;
   if (slot < capacity_) sample_[slot] = x;
+}
+
+ReservoirQuantiles ReservoirQuantiles::from_parts(std::size_t capacity,
+                                                  std::uint64_t state,
+                                                  std::size_t count,
+                                                  std::vector<double> sample) {
+  HGC_REQUIRE(sample.size() <= capacity,
+              "reservoir sample larger than its capacity");
+  HGC_REQUIRE(count >= sample.size(),
+              "reservoir count smaller than its retained sample");
+  ReservoirQuantiles q(capacity, state);
+  q.state_ = state;  // the ctor folds nothing in, but be explicit
+  q.count_ = count;
+  q.sample_ = std::move(sample);
+  return q;
 }
 
 namespace {

@@ -22,9 +22,24 @@ class RunningStats {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
   double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Raw second central moment (Welford's M2) — exposed so snapshots can
+  /// serialize the exact accumulator state; variance() is derived from it.
+  double m2() const { return count_ ? m2_ : 0.0; }
 
   /// Merge another accumulator into this one (parallel reduction).
   void merge(const RunningStats& other);
+
+  /// Rebuild an accumulator from serialized state (obs::Snapshot JSON).
+  /// The fields are taken verbatim, so read(write(s)) == s to the bit.
+  static RunningStats from_parts(std::size_t count, double mean, double m2,
+                                 double min, double max);
+
+  /// Exact state equality (the snapshot round-trip contract). Compares the
+  /// raw fields with operator== — fine for the finite values stats hold.
+  friend bool operator==(const RunningStats& a, const RunningStats& b) {
+    return a.count_ == b.count_ && a.mean_ == b.mean_ && a.m2_ == b.m2_ &&
+           a.min_ == b.min_ && a.max_ == b.max_;
+  }
 
  private:
   std::size_t count_ = 0;
@@ -57,6 +72,25 @@ class ReservoirQuantiles {
   double p50() const { return quantile(50.0); }
   double p95() const { return quantile(95.0); }
   double p99() const { return quantile(99.0); }
+
+  /// The retained sample in insertion/replacement order, and the internal
+  /// selection-stream state — together with count() and capacity() this is
+  /// the complete serializable state of the estimator.
+  const std::vector<double>& retained() const { return sample_; }
+  std::uint64_t rng_state() const { return state_; }
+
+  /// Rebuild an estimator from serialized state (obs::Snapshot JSON); the
+  /// sample must fit the capacity and count must cover the sample.
+  static ReservoirQuantiles from_parts(std::size_t capacity,
+                                       std::uint64_t state, std::size_t count,
+                                       std::vector<double> sample);
+
+  /// Exact state equality (the snapshot round-trip contract).
+  friend bool operator==(const ReservoirQuantiles& a,
+                         const ReservoirQuantiles& b) {
+    return a.capacity_ == b.capacity_ && a.count_ == b.count_ &&
+           a.state_ == b.state_ && a.sample_ == b.sample_;
+  }
 
   /// Merge another reservoir into this one (parallel reduction).
   ///

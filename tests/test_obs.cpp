@@ -9,8 +9,6 @@
 // reset() themselves.
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <map>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -19,11 +17,18 @@
 #include <vector>
 
 #include "exec/sweep.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace hgc {
 namespace {
+
+// Trace well-formedness is proven by parsing, not pattern-matching: the
+// obs/json.hpp reader (originally written for these tests, since promoted
+// into the library for Snapshot::read_json) loads the whole document.
+using obs::JsonValue;
+using obs::parse_json;
 
 // --- Metrics registry ---------------------------------------------------
 
@@ -101,7 +106,7 @@ TEST(ObsRegistry, DisabledSitesRecordNothing) {
   const obs::Snapshot snap = obs::Registry::global().snapshot();
   EXPECT_EQ(snap.counter("t.disabled.c"), 0u);
   EXPECT_EQ(snap.histograms.at("t.disabled.h").total(), 0u);
-  EXPECT_DOUBLE_EQ(snap.gauges.at("t.disabled.g"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("t.disabled.g").value, 0.0);
 }
 
 TEST(ObsRegistry, ResetZeroesValuesButHandlesStayLive) {
@@ -139,150 +144,11 @@ TEST(ObsRegistry, SnapshotJsonNamesEveryRegisteredInstrument) {
   obs::Registry::global().snapshot().write_json(os);
   const std::string json = os.str();
   EXPECT_NE(json.find("\"t.json.c\": 4"), std::string::npos) << json;
-  EXPECT_NE(json.find("\"t.json.g\": 2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"t.json.g\": {\"value\": 2.5"), std::string::npos)
+      << json;
 }
 
 // --- Trace JSON ---------------------------------------------------------
-
-// A deliberately small JSON parser — enough to prove the emitted trace is
-// well-formed JSON with the right shape, without pattern-matching strings.
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue& at(const std::string& key) const {
-    auto it = object.find(key);
-    if (it == object.end()) throw std::runtime_error("missing key: " + key);
-    return it->second;
-  }
-  bool has(const std::string& key) const { return object.count(key) > 0; }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-  char peek() {
-    skip_ws();
-    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
-    return s_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c)
-      throw std::runtime_error(std::string("expected '") + c + "' at " +
-                               std::to_string(pos_));
-    ++pos_;
-  }
-  JsonValue value() {
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': return literal("true", bool_value(true));
-      case 'f': return literal("false", bool_value(false));
-      case 'n': return literal("null", JsonValue{});
-      default: return number();
-    }
-  }
-  static JsonValue bool_value(bool b) {
-    JsonValue v;
-    v.type = JsonValue::Type::kBool;
-    v.boolean = b;
-    return v;
-  }
-  JsonValue literal(const std::string& word, JsonValue v) {
-    if (s_.compare(pos_, word.size(), word) != 0)
-      throw std::runtime_error("bad literal at " + std::to_string(pos_));
-    pos_ += word.size();
-    return v;
-  }
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (peek() == '}') { ++pos_; return v; }
-    while (true) {
-      JsonValue key = string_value();
-      expect(':');
-      v.object[key.string] = value();
-      if (peek() == ',') { ++pos_; continue; }
-      expect('}');
-      return v;
-    }
-  }
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (peek() == ']') { ++pos_; return v; }
-    while (true) {
-      v.array.push_back(value());
-      if (peek() == ',') { ++pos_; continue; }
-      expect(']');
-      return v;
-    }
-  }
-  JsonValue string_value() {
-    expect('"');
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
-        char e = s_[pos_++];
-        switch (e) {
-          case 'n': v.string += '\n'; break;
-          case 't': v.string += '\t'; break;
-          case 'u':
-            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
-            pos_ += 4;  // tests never inspect escaped payloads
-            v.string += '?';
-            break;
-          default: v.string += e;
-        }
-      } else {
-        v.string += c;
-      }
-    }
-    expect('"');
-    return v;
-  }
-  JsonValue number() {
-    std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) throw std::runtime_error("bad number");
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.number = std::stod(s_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
 
 TEST(ObsTracer, EmitsWellFormedChromeTraceWithBothClocks) {
   obs::Tracer::global().reset();
@@ -300,9 +166,10 @@ TEST(ObsTracer, EmitsWellFormedChromeTraceWithBothClocks) {
   obs::Tracer::global().write_json(os);
   obs::Tracer::global().reset();
 
-  const JsonValue root = JsonParser(os.str()).parse();
+  const JsonValue root = parse_json(os.str());
   ASSERT_EQ(root.type, JsonValue::Type::kObject);
   EXPECT_EQ(root.at("displayTimeUnit").string, "ms");
+  EXPECT_EQ(root.at("droppedEvents").as_u64(), 0u);
   const JsonValue& events = root.at("traceEvents");
   ASSERT_EQ(events.type, JsonValue::Type::kArray);
 
@@ -358,9 +225,49 @@ TEST(ObsTracer, DisabledScopesRecordNothing) {
   obs::trace_virtual_span(1, 0, "nor_this", "test", 0.0, 1.0);
   std::ostringstream os;
   obs::Tracer::global().write_json(os);
-  const JsonValue root = JsonParser(os.str()).parse();
+  const JsonValue root = parse_json(os.str());
   for (const JsonValue& e : root.at("traceEvents").array)
     EXPECT_EQ(e.at("ph").string, "M") << e.at("name").string;
+}
+
+TEST(ObsTracer, DropsAreCountedExportedAndWarnedOnce) {
+  obs::Tracer::global().reset();
+  obs::Registry::global().reset();
+  obs::set_trace_buffer_capacity(4);
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  for (int i = 0; i < 10; ++i)
+    obs::trace_virtual_instant(/*track=*/1, /*row=*/0, "spam", "test",
+                               static_cast<double>(i));
+  obs::set_trace_enabled(false);
+  obs::set_metrics_enabled(false);
+  obs::set_trace_buffer_capacity(1 << 20);
+
+  EXPECT_EQ(obs::Tracer::global().dropped(), 6u);
+  // The drop count is cross-posted to the metrics registry so fleet merges
+  // can total trace loss without opening trace files.
+  EXPECT_EQ(obs::Registry::global().snapshot().counter(
+                "obs.trace.dropped_events"),
+            6u);
+
+  // write_json reports the loss in the file and warns once on stderr.
+  testing::internal::CaptureStderr();
+  std::ostringstream os;
+  obs::Tracer::global().write_json(os);
+  std::ostringstream again;
+  obs::Tracer::global().write_json(again);
+  const std::string warnings = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warnings.find("trace buffer overflow"), std::string::npos);
+  EXPECT_EQ(warnings.find("trace buffer overflow"),
+            warnings.rfind("trace buffer overflow"))
+      << "warning should print once, got: " << warnings;
+  const JsonValue root = parse_json(os.str());
+  EXPECT_EQ(root.at("droppedEvents").as_u64(), 6u);
+  EXPECT_EQ(root.at("traceEvents").array.size() -
+                /* metadata rows: process + thread */ 2u,
+            4u);
+  obs::Tracer::global().reset();
+  obs::Registry::global().reset();
 }
 
 // --- Zero behavior change under the sweep -------------------------------
@@ -410,7 +317,7 @@ TEST(ObsSweep, ResultTableIsByteIdenticalWithObservabilityOn) {
     EXPECT_GT(snapshot.counter("engine.rounds"), 0u);
     std::ostringstream os;
     obs::Tracer::global().write_json(os);
-    const JsonValue root = JsonParser(os.str()).parse();
+    const JsonValue root = parse_json(os.str());
     bool saw_cell = false, saw_virtual = false;
     for (const JsonValue& e : root.at("traceEvents").array) {
       if (e.at("ph").string == "M") continue;
