@@ -118,6 +118,7 @@ class ProgressReporter {
 
  private:
   void loop() {
+    // lint:allow(nondeterministic-seed): progress ETA on stderr; never feeds sim state or output
     const auto start = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(mu_);
     while (!stopped_) {
@@ -131,6 +132,7 @@ class ProgressReporter {
       const std::size_t total =
           total_gauge > 0 ? static_cast<std::size_t>(total_gauge) : total_;
       const double elapsed =
+          // lint:allow(nondeterministic-seed): progress ETA on stderr; never feeds sim state or output
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
@@ -267,9 +269,11 @@ int main(int argc, char** argv) {
 
     std::optional<ProgressReporter> reporter;
     if (progress) reporter.emplace(figure.grid.num_cells());
+    // lint:allow(nondeterministic-seed): wall-clock run summary on stderr only
     const auto start = std::chrono::steady_clock::now();
     exec::ResultTable table = exec::run_figure(figure, options);
     const double seconds =
+        // lint:allow(nondeterministic-seed): wall-clock run summary on stderr only
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();

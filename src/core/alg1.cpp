@@ -87,6 +87,7 @@ std::optional<Vector> Alg1Code::decode(const std::vector<bool>& received,
   // the basis column — no copy).
   for (std::size_t j = 0; j < workers_.size(); ++j) {
     double value = 0.0;
+    // lint:allow(raw-fp-accumulation): s+1 terms in fixed r order; decode coefficients, not the kernel hot path
     for (std::size_t r = 0; r <= s_; ++r) value += basis(r, best) * c_(r, j);
     coefficients[workers_[j]] = value / lambda_sum;
   }

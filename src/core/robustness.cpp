@@ -122,6 +122,7 @@ std::optional<double> worst_case_time(const CodingScheme& scheme,
 }
 
 double optimal_time_bound(const Throughputs& c, std::size_t k, std::size_t s) {
+  // lint:allow(raw-fp-accumulation): fixed begin->end order over per-cluster throughputs; analytic bound, not decode
   const double total = std::accumulate(c.begin(), c.end(), 0.0);
   HGC_REQUIRE(total > 0.0, "total throughput must be positive");
   return static_cast<double>((s + 1) * k) / total;

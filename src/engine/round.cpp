@@ -6,6 +6,7 @@
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/checked_cast.hpp"
 #include "util/error.hpp"
 
 namespace hgc::engine {
@@ -51,7 +52,7 @@ double WorkerActor::begin_round(const CodingScheme& scheme,
                                 std::size_t& dropped) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // Virtual-clock trace row for this worker (row 0 is the master's).
-  const auto row = static_cast<std::uint32_t>(id_) + 1;
+  const auto row = checked_cast<std::uint32_t>(id_ + 1);
   const std::uint32_t track = options.trace_track;
   const double base = options.trace_time_base;
   if (conditions.faulted[id_] || scheme.load(id_) == 0) {
@@ -82,7 +83,7 @@ double WorkerActor::begin_round(const CodingScheme& scheme,
     payload = encode_gradient(scheme, id_, *options.partition_gradients);
     if (options.wire_frames) {
       GradientMessage message;
-      message.worker = static_cast<std::uint32_t>(id_);
+      message.worker = checked_cast<std::uint32_t>(id_);
       message.iteration = options.iteration;
       message.payload = std::move(payload);
       frame = encode_message(message);

@@ -18,6 +18,7 @@
 #include "sim/iteration.hpp"
 #include "sim/layerwise.hpp"
 #include "util/args.hpp"
+#include "util/checked_cast.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -84,11 +85,11 @@ SweepGrid fig5_grid(std::size_t iterations) {
   grid.clusters = paper_clusters();
   grid.schemes = paper_schemes();
   grid.iterations = iterations;
-  StragglerAxis model;
-  model.num_stragglers = 1;
-  model.delay_factor = 2.0;
-  model.fluctuation_sigma = 0.05;
-  grid.models = {model};
+  StragglerAxis straggler;
+  straggler.num_stragglers = 1;
+  straggler.delay_factor = 2.0;
+  straggler.fluctuation_sigma = 0.05;
+  grid.models = {straggler};
   return grid;
 }
 
@@ -101,11 +102,11 @@ FigureSweep fig4_sweep(std::size_t iterations) {
   grid.clusters = {cluster_c()};
   grid.schemes = {SchemeKind::kNaive};  // placeholder; series is the axis
   grid.iterations = iterations;
-  StragglerAxis model;
-  model.num_stragglers = 1;
-  model.delay_factor = 2.0;
-  model.fluctuation_sigma = 0.05;
-  grid.models = {model};
+  StragglerAxis straggler;
+  straggler.num_stragglers = 1;
+  straggler.delay_factor = 2.0;
+  straggler.fluctuation_sigma = 0.05;
+  grid.models = {straggler};
   grid.custom_axes = {{"series",
                        {0.0, 1.0, 2.0, 3.0, 4.0},
                        {"naive", "cyclic", "heter-aware", "group-based",
@@ -411,11 +412,11 @@ SweepGrid scenarios_grid(std::size_t iterations) {
   grid.clusters = {cluster_a()};
   grid.schemes = paper_schemes();
   grid.iterations = iterations;
-  StragglerAxis model;
-  model.num_stragglers = 1;
-  model.delay_factor = 2.0;
-  model.fluctuation_sigma = 0.05;
-  grid.models = {model};
+  StragglerAxis straggler;
+  straggler.num_stragglers = 1;
+  straggler.delay_factor = 2.0;
+  straggler.fluctuation_sigma = 0.05;
+  grid.models = {straggler};
   ScenarioSpec churn;
   churn.name = "churn";
   churn.kind = ScenarioKind::kChurn;
@@ -468,10 +469,12 @@ BenchArgs parse_bench_args(int argc, const char* const* argv,
                            std::size_t default_iters) {
   Args args(argc, argv);
   BenchArgs parsed;
-  parsed.iterations = static_cast<std::size_t>(
+  // checked_cast: a negative --iters/--threads throws instead of wrapping
+  // into an absurd size_t.
+  parsed.iterations = checked_cast<std::size_t>(
       args.get_int("iters", static_cast<std::int64_t>(default_iters)));
   parsed.options.threads =
-      static_cast<std::size_t>(args.get_int("threads", 0));
+      checked_cast<std::size_t>(args.get_int("threads", 0));
   args.check_unused();
   return parsed;
 }

@@ -9,6 +9,7 @@
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sim/iteration.hpp"
+#include "util/checked_cast.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -174,7 +175,7 @@ namespace {
 /// "untracked"). Resolved once per cell body so a disabled tracer costs one
 /// relaxed load per cell, not per round.
 std::uint32_t cell_trace_track(const Cell& cell) {
-  return obs::trace_enabled() ? static_cast<std::uint32_t>(cell.index) + 1
+  return obs::trace_enabled() ? checked_cast<std::uint32_t>(cell.index + 1)
                               : 0;
 }
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "util/checked_cast.hpp"
 #include "util/error.hpp"
 
 namespace hgc {
@@ -42,12 +43,16 @@ template <typename T>
 T get(std::span<const std::byte> bytes, std::size_t& offset) {
   if (offset + sizeof(T) > bytes.size())
     throw WireError("frame truncated");
-  T value = 0;
+  // Accumulate in the widest unsigned type: for sub-int T the shift would
+  // promote through (signed) int, and |= back into T is a narrowing the
+  // compiler rightly flags.
+  std::uint64_t value = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i)
-    value |= static_cast<T>(static_cast<std::uint8_t>(bytes[offset + i]))
+    value |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(bytes[offset + i]))
              << (8 * i);
   offset += sizeof(T);
-  return value;
+  return static_cast<T>(value);
 }
 
 }  // namespace
@@ -71,8 +76,9 @@ std::vector<std::byte> encode_message(const GradientMessage& message) {
   put<std::uint16_t>(out, kVersion);
   put<std::uint32_t>(out, message.worker);
   put<std::uint64_t>(out, message.iteration);
-  HGC_REQUIRE(message.payload.size() <= 0xffffffffull, "payload too large");
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(message.payload.size()));
+  // The length field is 32-bit on the wire; checked_cast turns a >4 GiB
+  // payload into a loud error instead of a truncated frame.
+  put<std::uint32_t>(out, checked_cast<std::uint32_t>(message.payload.size()));
   for (double v : message.payload)
     put<std::uint64_t>(out, std::bit_cast<std::uint64_t>(v));
   const std::uint32_t checksum =

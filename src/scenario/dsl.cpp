@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "engine/delay_trace.hpp"
+#include "util/checked_cast.hpp"
 #include "util/error.hpp"
 
 namespace hgc::scenario {
@@ -332,7 +333,7 @@ engine::ScenarioScript parse_scenario(std::istream& in,
           if (attr == "vcpus" && !saw_vcpus) {
             const std::size_t vcpus = cursor.expect_index("vcpus");
             if (vcpus == 0) fail("vcpus must be at least 1");
-            event.spec.vcpus = static_cast<unsigned>(vcpus);
+            event.spec.vcpus = checked_cast<unsigned>(vcpus);
             saw_vcpus = true;
           } else if (attr == "throughput" && !saw_throughput) {
             event.spec.throughput = cursor.expect_number("throughput");

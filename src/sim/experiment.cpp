@@ -20,7 +20,8 @@ std::size_t exact_partition_count(const Cluster& cluster, std::size_t s,
     for (double ci : c) {
       const double share =
           static_cast<double>(k * (s + 1)) * ci / total;
-      if (std::abs(share - std::round(share)) > 1e-9 || share > k + 1e-9) {
+      if (std::abs(share - std::round(share)) > 1e-9 ||
+          share > static_cast<double>(k) + 1e-9) {
         integral = false;
         break;
       }

@@ -1,0 +1,44 @@
+// checked_cast<T>(v): integral narrowing that throws instead of wrapping.
+//
+// The sweep stack's determinism contract means a silent wraparound (a
+// size_t cell index truncated into a uint32_t trace track, a negative CLI
+// value reinterpreted as a huge size_t) would not crash — it would quietly
+// produce different-but-plausible output. Every intentional narrowing of an
+// integral value goes through here so the out-of-range case is a loud
+// exception at the conversion site, with both the value and the target
+// range in the message. In-range casts compile down to the plain
+// static_cast (two comparisons against constants, no allocation).
+#pragma once
+
+#include <concepts>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hgc {
+
+/// Thrown by checked_cast when the value does not fit the target type.
+class narrowing_error : public std::range_error {
+ public:
+  using std::range_error::range_error;
+};
+
+/// Convert `value` to To, throwing narrowing_error if the round trip would
+/// change the value (out of range, or sign-flipped). Both types must be
+/// integral; bool is excluded on both sides because a checked bool cast is
+/// always a logic error.
+template <std::integral To, std::integral From>
+  requires(!std::same_as<To, bool> && !std::same_as<From, bool>)
+constexpr To checked_cast(From value) {
+  if (!std::in_range<To>(value)) {
+    throw narrowing_error(
+        "checked_cast: value " + std::to_string(value) +
+        " out of range [" +
+        std::to_string(std::numeric_limits<To>::min()) + ", " +
+        std::to_string(std::numeric_limits<To>::max()) + "]");
+  }
+  return static_cast<To>(value);
+}
+
+}  // namespace hgc

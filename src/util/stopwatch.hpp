@@ -19,6 +19,7 @@ class Stopwatch {
   double milliseconds() const { return seconds() * 1e3; }
 
  private:
+  // lint:allow(nondeterministic-seed): measurement utility; results are reported, never fed back into simulation state
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };

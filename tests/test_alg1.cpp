@@ -145,9 +145,9 @@ INSTANTIATE_TEST_SUITE_P(
                       Alg1Case{6, 1, 12}, Alg1Case{6, 2, 9}, Alg1Case{7, 3, 7},
                       Alg1Case{8, 2, 8}, Alg1Case{9, 1, 18},
                       Alg1Case{10, 2, 10}),
-    [](const auto& info) {
-      return "m" + std::to_string(info.param.m) + "_s" +
-             std::to_string(info.param.s) + "_k" + std::to_string(info.param.k);
+    [](const auto& test_info) {
+      return "m" + std::to_string(test_info.param.m) + "_s" +
+             std::to_string(test_info.param.s) + "_k" + std::to_string(test_info.param.k);
     });
 
 }  // namespace

@@ -161,9 +161,9 @@ INSTANTIATE_TEST_SUITE_P(
                       AllocationCase{8, 3, 16}, AllocationCase{10, 2, 20},
                       AllocationCase{12, 3, 24}, AllocationCase{16, 4, 32},
                       AllocationCase{32, 2, 64}, AllocationCase{58, 3, 116}),
-    [](const auto& info) {
-      return "m" + std::to_string(info.param.m) + "_s" +
-             std::to_string(info.param.s) + "_k" + std::to_string(info.param.k);
+    [](const auto& test_info) {
+      return "m" + std::to_string(test_info.param.m) + "_s" +
+             std::to_string(test_info.param.s) + "_k" + std::to_string(test_info.param.k);
     });
 
 }  // namespace

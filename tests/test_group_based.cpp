@@ -158,9 +158,9 @@ INSTANTIATE_TEST_SUITE_P(
                       GroupCase{6, 2, 6}, GroupCase{7, 2, 14},
                       GroupCase{8, 1, 16}, GroupCase{8, 3, 8},
                       GroupCase{10, 2, 20}),
-    [](const auto& info) {
-      return "m" + std::to_string(info.param.m) + "_s" +
-             std::to_string(info.param.s) + "_k" + std::to_string(info.param.k);
+    [](const auto& test_info) {
+      return "m" + std::to_string(test_info.param.m) + "_s" +
+             std::to_string(test_info.param.s) + "_k" + std::to_string(test_info.param.k);
     });
 
 }  // namespace

@@ -148,9 +148,9 @@ TEST_P(GroupSweep, FoundGroupsAreCoversAndPruneDisjoint) {
 INSTANTIATE_TEST_SUITE_P(Grid, GroupSweep,
                          ::testing::Combine(::testing::Values(4, 6, 8, 12, 16),
                                             ::testing::Values(1, 2, 3)),
-                         [](const auto& info) {
-                           return "m" + std::to_string(std::get<0>(info.param)) +
-                                  "_s" + std::to_string(std::get<1>(info.param));
+                         [](const auto& test_info) {
+                           return "m" + std::to_string(std::get<0>(test_info.param)) +
+                                  "_s" + std::to_string(std::get<1>(test_info.param));
                          });
 
 }  // namespace

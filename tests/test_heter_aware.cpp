@@ -112,9 +112,9 @@ INSTANTIATE_TEST_SUITE_P(
                       HeterCase{5, 2, 10}, HeterCase{6, 1, 6},
                       HeterCase{6, 2, 12}, HeterCase{7, 1, 14},
                       HeterCase{8, 2, 8}, HeterCase{9, 2, 18}),
-    [](const auto& info) {
-      return "m" + std::to_string(info.param.m) + "_s" +
-             std::to_string(info.param.s) + "_k" + std::to_string(info.param.k);
+    [](const auto& test_info) {
+      return "m" + std::to_string(test_info.param.m) + "_s" +
+             std::to_string(test_info.param.s) + "_k" + std::to_string(test_info.param.k);
     });
 
 }  // namespace

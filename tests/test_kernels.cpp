@@ -5,7 +5,9 @@
 // instrumented global allocator.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "core/cyclic.hpp"
 #include "core/robustness.hpp"
@@ -339,6 +341,38 @@ TEST(Robustness, WorkspaceSolvesAreHistoryIndependent) {
   ASSERT_EQ(x_used.size(), x_fresh.size());
   for (std::size_t i = 0; i < x_fresh.size(); ++i)
     EXPECT_EQ(x_used[i], x_fresh[i]);  // bitwise
+}
+
+TEST(Robustness, ThreadLocalWorkspacesSolveConcurrently) {
+  // The sweep runs satisfies_condition1 from pool threads, each hitting the
+  // function's thread_local default workspace. Hammer that path from many
+  // threads at once (the reason this binary carries the `threaded` ctest
+  // label and runs under TSan) and require every thread to reproduce the
+  // single-threaded verdicts exactly.
+  Rng rng(116);
+  const CyclicScheme scheme(8, 2, rng);
+  const Matrix& b = scheme.coding_matrix();
+  Matrix broken = b;
+  for (std::size_t j = 0; j < broken.cols(); ++j)
+    broken(0, j) = broken(1, j) = broken(2, j) = 0.0;
+
+  const bool good_ref = satisfies_condition1(b, 2);
+  const bool broken_ref = satisfies_condition1(broken, 2);
+  ASSERT_TRUE(good_ref);
+  ASSERT_FALSE(broken_ref);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 16; ++iter) {
+        if (satisfies_condition1(b, 2) != good_ref ||
+            satisfies_condition1(broken, 2) != broken_ref)
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 //     that — near, not bitwise.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -417,6 +418,54 @@ TEST(ObsRecorder, RingStaysBounded) {
   EXPECT_EQ(samples.size(), 3u);  // wrapped several times, kept the last 3
   for (std::size_t i = 1; i < samples.size(); ++i)
     EXPECT_GE(samples[i].unix_ns, samples[i - 1].unix_ns);
+}
+
+TEST(ObsRecorder, StartStopRacesWritersAndSnapshotReaders) {
+  // The TSan surface the `threaded` ctest label exists for: the sampler
+  // thread snapshots the registry while writer threads bump counters,
+  // reader threads take their own snapshots and drain samples(), and the
+  // main thread churns start()/stop(). Assertions are deliberately light —
+  // the test's job is to make every cross-thread edge visible to TSan.
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+  const obs::Counter c = obs::Registry::global().counter("t.rec.race");
+
+  obs::RecorderOptions opts;
+  opts.interval_seconds = 0.001;
+  opts.ring_capacity = 8;
+  obs::Recorder recorder(opts);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w)
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) c.add();
+    });
+  for (int r = 0; r < 2; ++r)
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        (void)obs::Registry::global().snapshot();
+        (void)recorder.samples();
+      }
+    });
+
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    recorder.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    recorder.stop();
+    EXPECT_FALSE(recorder.samples().empty());  // stop() takes a final sample
+  }
+
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  obs::set_metrics_enabled(false);
+
+  const std::vector<Snapshot> samples = recorder.samples();
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_GE(samples[i].counter("t.rec.race"),
+              samples[i - 1].counter("t.rec.race"));
+  obs::Registry::global().reset();
 }
 
 TEST(ObsRecorder, SweepBytesAreIdenticalWithRecorderOn) {

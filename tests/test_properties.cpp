@@ -147,11 +147,11 @@ TEST_P(SchemeOrdering, HeterNeverWorseThanCyclic) {
 INSTANTIATE_TEST_SUITE_P(Grid, SchemeOrdering,
                          ::testing::Combine(::testing::Values(5, 6, 8, 10),
                                             ::testing::Values(1, 2)),
-                         [](const auto& info) {
+                         [](const auto& test_info) {
                            return "m" +
-                                  std::to_string(std::get<0>(info.param)) +
+                                  std::to_string(std::get<0>(test_info.param)) +
                                   "_s" +
-                                  std::to_string(std::get<1>(info.param));
+                                  std::to_string(std::get<1>(test_info.param));
                          });
 
 }  // namespace

@@ -1,0 +1,400 @@
+#!/usr/bin/env python3
+"""hgc_lint: the project's determinism & safety lint.
+
+The sweep stack's load-bearing contract is byte-identity: the same grid
+produces a bit-identical ResultTable at any thread count, with caching and
+observability on or off. Runtime CI diffs enforce that on a handful of
+smoke grids; this lint enforces the *invariants behind it* statically, so a
+violation fails by file:line on the PR that introduces it instead of
+surfacing as a flaky diff later (or never, if no smoke grid covers it).
+
+Rules (see RULES for scopes and per-rule allowlists):
+
+  unordered-iteration   Iterating a std::unordered_map/unordered_set walks
+                        hash-table order, which varies by libstdc++ version
+                        and seed values. Anything that feeds output must
+                        iterate a deterministically ordered container (or
+                        sort first). Lookups/membership are fine; only
+                        iteration (range-for, begin()/end()) fires.
+  nondeterministic-seed Wall clocks and entropy sources (std::random_device,
+                        rand()/srand(), time(), the std::chrono clocks) must
+                        not feed simulation state. All randomness flows from
+                        util/rng's seeded streams. src/obs/ is exempt —
+                        wall-clock timestamps are its whole job.
+  raw-fp-accumulation   Floating-point accumulation in the decode/sweep hot
+                        paths must route through linalg/kernels, whose fixed
+                        summation order IS the determinism contract (PR 4).
+                        An ad-hoc `sum += a[i] * b[i]` loop is a parallel
+                        summation-order decision nobody reviews.
+  raw-allocation        Kernel/workspace code (src/linalg/) is allocation-
+                        free on the hot path by contract (pinned by an
+                        instrumented-allocator test); naked new/malloc there
+                        is either a leak risk or a perf regression.
+
+Suppressions: `// lint:allow(<rule>): <justification>` — trailing on the
+offending line, or alone on the line above (then it covers the next line
+only). The justification is mandatory; an allow naming an unknown rule or
+suppressing nothing is itself an error, so stale suppressions cannot
+accumulate. clang-tidy NOLINT markers are budgeted (NOLINT_BUDGET): each
+needs the usual clang-tidy justification in review, and when the count
+exceeds the budget the lint fails listing every site.
+
+Usage:
+  python3 tools/lint/hgc_lint.py              # lint src apps bench tests
+  python3 tools/lint/hgc_lint.py --list-rules
+  python3 tools/lint/hgc_lint.py path/to/file.cpp path/to/dir
+Exit code 1 when any finding is reported, 0 on a clean tree.
+"""
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# Directories walked when no explicit paths are given, relative to --root.
+DEFAULT_PATHS = ["src", "apps", "bench", "tests"]
+CXX_EXTENSIONS = {".cpp", ".hpp", ".h", ".cc", ".hh"}
+
+# Total NOLINT markers (NOLINT, NOLINTNEXTLINE, NOLINTBEGIN) tolerated
+# across the tree before the lint fails. Raising this number is a reviewed
+# change to this file, which is the point.
+NOLINT_BUDGET = 8
+
+
+@dataclass
+class Rule:
+    name: str
+    description: str
+    # Regexes matched against comment/string-stripped source lines.
+    patterns: list = field(default_factory=list)
+    # Path prefixes (POSIX, repo-relative) the rule applies to; empty =
+    # everywhere under the linted paths.
+    include: list = field(default_factory=list)
+    # Per-rule allowlist: path prefixes exempt from this rule.
+    exclude: list = field(default_factory=list)
+
+
+RULES = {
+    "unordered-iteration": Rule(
+        name="unordered-iteration",
+        description=(
+            "iteration over std::unordered_map/unordered_set (hash order "
+            "leaks into output); lookups are fine"
+        ),
+        # Detection is structural (declared names + iteration sites), not a
+        # plain pattern — see _check_unordered_iteration.
+    ),
+    "nondeterministic-seed": Rule(
+        name="nondeterministic-seed",
+        description=(
+            "entropy/wall-clock source outside src/obs/ "
+            "(std::random_device, rand, srand, time(), chrono clocks)"
+        ),
+        patterns=[
+            re.compile(r"std\s*::\s*random_device"),
+            re.compile(r"\bsrand\s*\("),
+            re.compile(r"\brand\s*\(\s*\)"),
+            re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0|\))"),
+            re.compile(r"\bclock\s*\(\s*\)"),
+            re.compile(
+                r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+            ),
+        ],
+        exclude=["src/obs/"],
+    ),
+    "raw-fp-accumulation": Rule(
+        name="raw-fp-accumulation",
+        description=(
+            "floating-point accumulation in a hot path not routed through "
+            "linalg/kernels' fixed summation order"
+        ),
+        patterns=[
+            re.compile(r"std\s*::\s*accumulate\b"),
+            re.compile(r"std\s*::\s*reduce\b"),
+            # Multiply-accumulate on one line: the shape of an ad-hoc dot
+            # product / norm / gemv inner loop.
+            re.compile(r"\+=\s*[^;]*\*"),
+        ],
+        include=["src/core/", "src/exec/"],
+    ),
+    "raw-allocation": Rule(
+        name="raw-allocation",
+        description=(
+            "naked new/malloc in kernel/workspace code (src/linalg/ is "
+            "allocation-free on the hot path by contract)"
+        ),
+        patterns=[
+            re.compile(r"\bnew\b"),
+            re.compile(r"\bmalloc\s*\("),
+            re.compile(r"\bcalloc\s*\("),
+            re.compile(r"\brealloc\s*\("),
+        ],
+        include=["src/linalg/"],
+    ),
+}
+
+# Meta-rule names used in findings (not suppressible via lint:allow).
+META_ALLOW = "lint-allow"
+META_NOLINT = "nolint-budget"
+
+_ALLOW_RE = re.compile(r"//\s*lint:allow\(([^)]*)\)(.*)$")
+_UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}]*>\s*&?\s*(\w+)\s*[;{=(,)]"
+)
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving newlines
+    (and therefore line numbers). Handles //, /* */, "..." and '...' with
+    escapes, and R"delim(...)delim" raw strings."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c == "R" and nxt == '"':
+            close = text.find("(", i + 2)
+            if close == -1:
+                i += 1
+                continue
+            delim = text[i + 2:close]
+            end = text.find(")" + delim + '"', close)
+            end = n if end == -1 else end + len(delim) + 2
+            for ch in text[i:end]:
+                out.append("\n" if ch == "\n" else " ")
+            i = end
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def parse_allows(raw_lines, findings, path):
+    """Collect lint:allow suppressions.
+
+    Returns {target_line (1-based): {rule_name: allow_line}}. Syntax errors
+    (unknown rule, missing justification) are reported into `findings`.
+    """
+    allows = {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = _ALLOW_RE.search(line)
+        if not m:
+            if "lint:allow" in line:
+                findings.append(Finding(
+                    path, lineno, META_ALLOW,
+                    "malformed suppression; use "
+                    "// lint:allow(<rule>): <justification>"))
+            continue
+        names = [p.strip() for p in m.group(1).split(",") if p.strip()]
+        trailer = m.group(2)
+        if not names:
+            findings.append(Finding(
+                path, lineno, META_ALLOW,
+                "lint:allow() names no rule"))
+            continue
+        bad = [r for r in names if r not in RULES]
+        if bad:
+            known = ", ".join(sorted(RULES))
+            findings.append(Finding(
+                path, lineno, META_ALLOW,
+                f"unknown rule '{bad[0]}' in lint:allow (known: {known})"))
+            continue
+        if not re.match(r"^\s*:\s*\S", trailer):
+            findings.append(Finding(
+                path, lineno, META_ALLOW,
+                f"lint:allow({', '.join(names)}) is missing its "
+                "': <justification>'"))
+            continue
+        # A comment-only allow line covers the next line; a trailing allow
+        # covers its own line. Either way it covers exactly one line.
+        before = line[: m.start()].strip()
+        target = lineno + 1 if before == "" else lineno
+        for rule_name in names:
+            allows.setdefault(target, {})[rule_name] = lineno
+    return allows
+
+
+def rule_applies(rule, relpath):
+    if rule.include and not any(relpath.startswith(p)
+                                for p in rule.include):
+        return False
+    if any(relpath.startswith(p) for p in rule.exclude):
+        return False
+    return True
+
+
+def _check_unordered_iteration(relpath, stripped_lines, stripped_text):
+    """Yield (lineno, message) for iteration over unordered containers
+    declared in this file. Membership/lookup use never fires."""
+    names = set(_UNORDERED_DECL_RE.findall(stripped_text))
+    if not names:
+        return
+    alternation = "|".join(re.escape(nm) for nm in sorted(names))
+    range_for = re.compile(
+        r"for\s*\([^;()]*:\s*[\w.\->]*\b(" + alternation + r")\s*\)")
+    begin_end = re.compile(
+        r"\b(" + alternation + r")\s*\.\s*c?(?:begin|end|rbegin|rend)\s*\(")
+    for lineno, line in enumerate(stripped_lines, start=1):
+        m = range_for.search(line) or begin_end.search(line)
+        if m:
+            yield lineno, (
+                f"iterates unordered container '{m.group(1)}' "
+                "(hash order is not deterministic across platforms); use an "
+                "ordered container or sort the keys first")
+
+
+def lint_file(root, relpath, findings, nolint_sites):
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as exc:
+        findings.append(Finding(relpath, 0, "io", f"unreadable: {exc}"))
+        return
+
+    raw_lines = text.splitlines()
+    stripped_text = strip_comments_and_strings(text)
+    stripped_lines = stripped_text.splitlines()
+
+    for lineno, line in enumerate(raw_lines, start=1):
+        if "NOLINT" in line:
+            nolint_sites.append(f"{relpath}:{lineno}")
+
+    allows = parse_allows(raw_lines, findings, relpath)
+    used = set()  # (target_line, rule_name) pairs that suppressed a finding
+
+    def report(lineno, rule_name, message):
+        if rule_name in allows.get(lineno, {}):
+            used.add((lineno, rule_name))
+            return
+        findings.append(Finding(relpath, lineno, rule_name, message))
+
+    for rule in RULES.values():
+        if not rule_applies(rule, relpath):
+            continue
+        if rule.name == "unordered-iteration":
+            for lineno, message in _check_unordered_iteration(
+                    relpath, stripped_lines, stripped_text):
+                report(lineno, rule.name, message)
+            continue
+        for lineno, line in enumerate(stripped_lines, start=1):
+            for pattern in rule.patterns:
+                m = pattern.search(line)
+                if m:
+                    report(lineno, rule.name,
+                           f"'{m.group(0).strip()}' — {rule.description}")
+                    break  # one finding per rule per line
+
+    # A suppression that suppressed nothing is stale — fail it so allows
+    # cannot outlive the code they were written for.
+    for target, rules_here in sorted(allows.items()):
+        for rule_name, allow_line in sorted(rules_here.items()):
+            if (target, rule_name) not in used:
+                findings.append(Finding(
+                    relpath, allow_line, META_ALLOW,
+                    f"lint:allow({rule_name}) suppresses nothing "
+                    "(stale suppression — remove it)"))
+
+
+def collect_files(root, paths):
+    files = []
+    for p in paths:
+        abs_p = os.path.join(root, p)
+        if os.path.isfile(abs_p):
+            files.append(os.path.relpath(abs_p, root).replace(os.sep, "/"))
+        elif os.path.isdir(abs_p):
+            for dirpath, _dirnames, filenames in os.walk(abs_p):
+                for fn in sorted(filenames):
+                    if os.path.splitext(fn)[1] in CXX_EXTENSIONS:
+                        rel = os.path.relpath(os.path.join(dirpath, fn),
+                                              root)
+                        files.append(rel.replace(os.sep, "/"))
+    return sorted(set(files))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="hgc determinism & safety lint")
+    parser.add_argument("paths", nargs="*",
+                        help=f"files/dirs to lint (default: "
+                             f"{' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: auto-detected from "
+                             "this script's location)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in RULES.values():
+            scope = ", ".join(rule.include) if rule.include else "tree-wide"
+            exempt = f"; exempt: {', '.join(rule.exclude)}" \
+                if rule.exclude else ""
+            print(f"{rule.name}: {rule.description} [{scope}{exempt}]")
+        print(f"{META_ALLOW}: suppression syntax/staleness (meta)")
+        print(f"{META_NOLINT}: NOLINT markers budgeted at {NOLINT_BUDGET} "
+              "tree-wide (meta)")
+        return 0
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    paths = args.paths or [p for p in DEFAULT_PATHS
+                           if os.path.isdir(os.path.join(root, p))]
+
+    findings = []
+    nolint_sites = []
+    files = collect_files(root, paths)
+    for relpath in files:
+        lint_file(root, relpath, findings, nolint_sites)
+
+    if len(nolint_sites) > NOLINT_BUDGET:
+        listing = ", ".join(nolint_sites)
+        findings.append(Finding(
+            "<tree>", 0, META_NOLINT,
+            f"{len(nolint_sites)} NOLINT markers exceed the budget of "
+            f"{NOLINT_BUDGET}: {listing}"))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for finding in findings:
+        print(finding)
+    print(f"hgc_lint: {len(files)} files, {len(findings)} finding(s), "
+          f"{len(nolint_sites)}/{NOLINT_BUDGET} NOLINT budget used")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
