@@ -29,6 +29,7 @@
 
 #include "exec/figures.hpp"
 #include "exec/thread_pool.hpp"
+#include "linalg/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/args.hpp"
@@ -49,6 +50,11 @@ void print_usage(std::ostream& os) {
         "                     and specs alike — see README 'Scenario DSL')\n"
         "  --iters N          override the grid's iteration count\n"
         "  --threads N        worker threads (default: all cores)\n"
+        "  --kernel-backend B force the linalg kernel backend: scalar,\n"
+        "                     avx2, or neon (default: best the host\n"
+        "                     supports; HGC_KERNEL_BACKEND works too).\n"
+        "                     Output is byte-identical either way — the\n"
+        "                     flag trades speed, never results\n"
         "  --cache/--no-cache share constructed schemes across cells and\n"
         "                     cache decoding coefficients per cell (default\n"
         "                     on; output is byte-identical either way; hit\n"
@@ -197,7 +203,22 @@ int main(int argc, char** argv) {
     const bool progress = args.get_bool("progress", false);
     bool use_cache = args.get_bool("cache", true);
     if (args.get_bool("no-cache", false)) use_cache = false;
+    const std::string backend_arg = args.get("kernel-backend", "");
     args.check_unused();
+    if (!backend_arg.empty()) {
+      // Fail loudly on a bad name or an unavailable backend: the flag
+      // exists for CI's cross-backend byte-diff, where a silent fallback
+      // would diff a backend against itself and prove nothing.
+      const std::optional<kernels::Backend> backend =
+          kernels::parse_backend(backend_arg);
+      if (!backend.has_value())
+        throw std::invalid_argument("--kernel-backend '" + backend_arg +
+                                    "' is not a backend name "
+                                    "(scalar|avx2|neon)");
+      if (!kernels::set_backend(*backend))
+        throw std::invalid_argument("--kernel-backend " + backend_arg +
+                                    " is not available on this build/host");
+    }
     if (grid_arg.empty()) {
       print_usage(std::cerr);
       return 2;
@@ -240,6 +261,13 @@ int main(int argc, char** argv) {
     // plain one).
     obs::set_metrics_enabled(true);
     if (!trace_path.empty()) obs::set_trace_enabled(true);
+    // Resolve the kernel backend now (flag > env > cpuid) so the gauge is
+    // recorded after metrics exist and the summary below reports what
+    // actually served the run.
+    const kernels::Backend kernel_backend = kernels::active_backend();
+    obs::Registry::global()
+        .gauge("kernels.backend")
+        .set(static_cast<double>(static_cast<int>(kernel_backend)));
 
     exec::SweepOptions options;
     options.threads = threads;
@@ -284,6 +312,8 @@ int main(int argc, char** argv) {
     std::cerr << "# " << figure.name << ": "
               << figure.grid.num_cells() << " cells on "
               << resolved_threads << " thread(s) in " << seconds << "s\n";
+    std::cerr << "# kernel backend: " << kernels::backend_name(kernel_backend)
+              << "\n";
     if (use_cache) {
       const std::uint64_t sh = metrics.counter("scheme_cache.hits");
       const std::uint64_t sm = metrics.counter("scheme_cache.misses");

@@ -114,6 +114,20 @@ void BM_KernelDot(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelDot)->Arg(116)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 
+void BM_KernelScal(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Vector x(dim, 0.5);
+  // alpha ~ 1 so repeated scaling neither under- nor overflows across the
+  // benchmark's many iterations.
+  for (auto _ : state) {
+    kernels::scal(1.0 - 1e-12, x);
+    benchmark::DoNotOptimize(x.data());
+    benchmark::ClobberMemory();
+  }
+  report_mflops(state, static_cast<double>(dim));
+}
+BENCHMARK(BM_KernelScal)->Arg(116)->Arg(1 << 10)->Arg(1 << 14);
+
 void BM_KernelGemv(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   const auto k = static_cast<std::size_t>(state.range(1));
@@ -127,6 +141,20 @@ void BM_KernelGemv(benchmark::State& state) {
   report_mflops(state, 2.0 * static_cast<double>(m * k));
 }
 BENCHMARK(BM_KernelGemv)->Args({8, 16})->Args({58, 116})->Args({256, 1024});
+
+void BM_KernelGemvT(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  Rng rng(22);
+  const Matrix a = random_matrix(m, k, rng);
+  Vector x(m, 0.5), y(k);
+  for (auto _ : state) {
+    kernels::gemv_t(a.data().data(), k, m, k, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  report_mflops(state, 2.0 * static_cast<double>(m * k));
+}
+BENCHMARK(BM_KernelGemvT)->Args({8, 16})->Args({58, 116})->Args({256, 1024});
 
 void BM_KernelRank1Update(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
@@ -183,7 +211,15 @@ void BM_KernelLuSolveWorkspace(benchmark::State& state) {
   report_mflops(state, 2.0 / 3.0 * static_cast<double>(n * n * n) +
                            2.0 * static_cast<double>(n * n));
 }
-BENCHMARK(BM_KernelLuSolveWorkspace)->Arg(2)->Arg(4)->Arg(8);
+// 2/4/8 are the decode shapes Alg. 1 actually hits; 64/128 are there to
+// watch the blocked right-looking factorization (panel width 32), whose
+// cache win only shows once the trailing matrix stops fitting in L1.
+BENCHMARK(BM_KernelLuSolveWorkspace)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(128);
 
 void BM_KernelLeastSquaresAllocating(benchmark::State& state) {
   // The pre-workspace generic-decode inner solve at decode shapes: B_Rᵀ is
@@ -704,6 +740,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(gbench_argc,
                                              gbench_args.data()))
     return 1;
+  // Stamp the report (console + JSON context) with the kernel backend that
+  // served the run: check_bench_floor.py matches `@backend`-suffixed floor
+  // keys against this, so scalar and SIMD legs keep separate baselines.
+  benchmark::AddCustomContext(
+      "hgc_kernel_backend",
+      hgc::kernels::backend_name(hgc::kernels::active_backend()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,32 +1,66 @@
+// Scalar backend + the per-process backend dispatch.
+//
+// The scalar implementations below are the reference spelling of the
+// documented summation order in kernels.hpp: sixteen named accumulators in
+// dot (GCC maps them onto SSE register pairs on x86, so "scalar" is the
+// portable baseline, not a strawman), elementwise mul+add everywhere else.
+// The SIMD TUs (kernels_avx2.cpp / kernels_neon.cpp) reproduce the same
+// order with vector registers; CI byte-diffs sweep output across backends,
+// so any divergence is a build-breaking bug, not a tolerance question.
 #include "linalg/kernels.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "linalg/kernels_dispatch.hpp"
+#include "obs/metrics.hpp"
+#include "util/cpu.hpp"
 
 namespace hgc::kernels {
 
-double dot(std::span<const double> a, std::span<const double> b) noexcept {
-  const std::size_t n = a.size();
-  const double* pa = a.data();
-  const double* pb = b.data();
-  // Four independent lanes break the add dependency chain; the combine
-  // order (l0+l1)+(l2+l3) is part of the determinism contract in the
-  // header — do not "simplify" it to a left fold.
+namespace detail {
+namespace {
+
+double dot_scalar(const double* pa, const double* pb,
+                  std::size_t n) noexcept {
+  // Sixteen independent lanes; the combine tree below is the determinism
+  // contract in the header (it mirrors four 4-wide vector accumulators) —
+  // do not "simplify" it to a left fold.
   double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  double l4 = 0.0, l5 = 0.0, l6 = 0.0, l7 = 0.0;
+  double l8 = 0.0, l9 = 0.0, l10 = 0.0, l11 = 0.0;
+  double l12 = 0.0, l13 = 0.0, l14 = 0.0, l15 = 0.0;
   std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
+  for (; i + 16 <= n; i += 16) {
     l0 += pa[i] * pb[i];
     l1 += pa[i + 1] * pb[i + 1];
     l2 += pa[i + 2] * pb[i + 2];
     l3 += pa[i + 3] * pb[i + 3];
+    l4 += pa[i + 4] * pb[i + 4];
+    l5 += pa[i + 5] * pb[i + 5];
+    l6 += pa[i + 6] * pb[i + 6];
+    l7 += pa[i + 7] * pb[i + 7];
+    l8 += pa[i + 8] * pb[i + 8];
+    l9 += pa[i + 9] * pb[i + 9];
+    l10 += pa[i + 10] * pb[i + 10];
+    l11 += pa[i + 11] * pb[i + 11];
+    l12 += pa[i + 12] * pb[i + 12];
+    l13 += pa[i + 13] * pb[i + 13];
+    l14 += pa[i + 14] * pb[i + 14];
+    l15 += pa[i + 15] * pb[i + 15];
   }
-  double acc = (l0 + l1) + (l2 + l3);
+  const double u0 = (l0 + l4) + (l8 + l12);
+  const double u1 = (l1 + l5) + (l9 + l13);
+  const double u2 = (l2 + l6) + (l10 + l14);
+  const double u3 = (l3 + l7) + (l11 + l15);
+  double acc = (u0 + u1) + (u2 + u3);
   for (; i < n; ++i) acc += pa[i] * pb[i];
   return acc;
 }
 
-void axpy(double alpha, std::span<const double> x,
-          std::span<double> y) noexcept {
-  const std::size_t n = x.size();
-  const double* px = x.data();
-  double* py = y.data();
+void axpy_scalar(double alpha, const double* px, double* py,
+                 std::size_t n) noexcept {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     py[i] += alpha * px[i];
@@ -37,9 +71,24 @@ void axpy(double alpha, std::span<const double> x,
   for (; i < n; ++i) py[i] += alpha * px[i];
 }
 
-void scal(double alpha, std::span<double> x) noexcept {
-  const std::size_t n = x.size();
-  double* px = x.data();
+void axpy4_scalar(const double* alpha, const double* const* px, double* py,
+                  std::size_t n) noexcept {
+  const double a0 = alpha[0], a1 = alpha[1], a2 = alpha[2], a3 = alpha[3];
+  const double* x0 = px[0];
+  const double* x1 = px[1];
+  const double* x2 = px[2];
+  const double* x3 = px[3];
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = py[i];
+    v += a0 * x0[i];
+    v += a1 * x1[i];
+    v += a2 * x2[i];
+    v += a3 * x3[i];
+    py[i] = v;
+  }
+}
+
+void scal_scalar(double alpha, double* px, std::size_t n) noexcept {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     px[i] *= alpha;
@@ -50,26 +99,22 @@ void scal(double alpha, std::span<double> x) noexcept {
   for (; i < n; ++i) px[i] *= alpha;
 }
 
-void gemv(const double* a, std::size_t lda, std::size_t rows,
-          std::size_t cols, std::span<const double> x,
-          std::span<double> y) noexcept {
+void gemv_scalar(const double* a, std::size_t lda, std::size_t rows,
+                 std::size_t cols, const double* x, double* y) noexcept {
   for (std::size_t r = 0; r < rows; ++r)
-    y[r] = dot({a + r * lda, cols}, x);
+    y[r] = dot_scalar(a + r * lda, x, cols);
 }
 
-void gemv_t(const double* a, std::size_t lda, std::size_t rows,
-            std::size_t cols, std::span<const double> x,
-            std::span<double> y) noexcept {
-  double* py = y.data();
-  for (std::size_t c = 0; c < cols; ++c) py[c] = 0.0;
+void gemv_t_scalar(const double* a, std::size_t lda, std::size_t rows,
+                   std::size_t cols, const double* x, double* y) noexcept {
+  for (std::size_t c = 0; c < cols; ++c) y[c] = 0.0;
   for (std::size_t r = 0; r < rows; ++r)
-    axpy(x[r], {a + r * lda, cols}, {py, cols});
+    axpy_scalar(x[r], a + r * lda, y, cols);
 }
 
-void rank1_update(double* a, std::size_t lda, std::size_t rows,
-                  std::size_t cols, double alpha, std::span<const double> x,
-                  std::span<const double> y) noexcept {
-  const double* py = y.data();
+void rank1_update_scalar(double* a, std::size_t lda, std::size_t rows,
+                         std::size_t cols, double alpha, const double* x,
+                         const double* y) noexcept {
   std::size_t r = 0;
   // Four-row blocks: y is read once per block instead of once per row.
   for (; r + 4 <= rows; r += 4) {
@@ -82,7 +127,7 @@ void rank1_update(double* a, std::size_t lda, std::size_t rows,
     const double s2 = alpha * x[r + 2];
     const double s3 = alpha * x[r + 3];
     for (std::size_t c = 0; c < cols; ++c) {
-      const double v = py[c];
+      const double v = y[c];
       a0[c] += s0 * v;
       a1[c] += s1 * v;
       a2[c] += s2 * v;
@@ -92,8 +137,166 @@ void rank1_update(double* a, std::size_t lda, std::size_t rows,
   for (; r < rows; ++r) {
     double* ar = a + r * lda;
     const double s = alpha * x[r];
-    for (std::size_t c = 0; c < cols; ++c) ar[c] += s * py[c];
+    for (std::size_t c = 0; c < cols; ++c) ar[c] += s * y[c];
   }
+}
+
+}  // namespace
+
+const KernelTable kScalarTable = {
+    .dot = dot_scalar,
+    .axpy = axpy_scalar,
+    .axpy4 = axpy4_scalar,
+    .scal = scal_scalar,
+    .gemv = gemv_scalar,
+    .gemv_t = gemv_t_scalar,
+    .rank1_update = rank1_update_scalar,
+};
+
+}  // namespace detail
+
+namespace {
+
+const detail::KernelTable* table_for(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar:
+      return &detail::kScalarTable;
+    case Backend::kAvx2:
+      return util::cpu_supports_avx2() ? detail::avx2_table() : nullptr;
+    case Backend::kNeon:
+      return util::cpu_supports_neon() ? detail::neon_table() : nullptr;
+  }
+  return nullptr;
+}
+
+// The installed table and its enum tag. Both are written exactly once per
+// selection (release), read with acquire on the cold path only — steady
+// state is one predictable-branch acquire load per kernel call.
+std::atomic<const detail::KernelTable*> g_table{nullptr};
+std::atomic<Backend> g_backend{Backend::kScalar};
+
+void publish(Backend backend, const detail::KernelTable* table) noexcept {
+  g_backend.store(backend, std::memory_order_release);
+  g_table.store(table, std::memory_order_release);
+  if (obs::metrics_enabled()) {
+    // Snapshots record which backend produced the numbers (a gauge: the
+    // last selection wins, which is also the one that served the run).
+    obs::Registry::global()
+        .gauge("kernels.backend")
+        .set(static_cast<double>(static_cast<int>(backend)));
+  }
+}
+
+Backend auto_detect() noexcept {
+  if (table_for(Backend::kAvx2) != nullptr) return Backend::kAvx2;
+  if (table_for(Backend::kNeon) != nullptr) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+// Cold path: consult HGC_KERNEL_BACKEND, then cpuid. Racing first calls
+// all compute the same answer, so the unsynchronized double-publish is
+// benign.
+const detail::KernelTable& select_initial() noexcept {
+  Backend chosen = auto_detect();
+  if (const char* env = std::getenv("HGC_KERNEL_BACKEND")) {
+    const std::optional<Backend> named = parse_backend(env);
+    if (!named.has_value()) {
+      std::fprintf(stderr,
+                   "hgc: HGC_KERNEL_BACKEND='%s' is not a backend name "
+                   "(scalar|avx2|neon); auto-detecting '%s' instead\n",
+                   env, backend_name(chosen));
+    } else if (table_for(*named) == nullptr) {
+      std::fprintf(stderr,
+                   "hgc: HGC_KERNEL_BACKEND=%s is not available on this "
+                   "build/host; auto-detecting '%s' instead\n",
+                   backend_name(*named), backend_name(chosen));
+    } else {
+      chosen = *named;
+    }
+  }
+  const detail::KernelTable* table = table_for(chosen);
+  publish(chosen, table);
+  return *table;
+}
+
+inline const detail::KernelTable& active_table() noexcept {
+  const detail::KernelTable* table = g_table.load(std::memory_order_acquire);
+  if (table != nullptr) [[likely]]
+    return *table;
+  return select_initial();
+}
+
+}  // namespace
+
+Backend active_backend() noexcept {
+  active_table();  // force selection on first use
+  return g_backend.load(std::memory_order_acquire);
+}
+
+bool set_backend(Backend backend) noexcept {
+  const detail::KernelTable* table = table_for(backend);
+  if (table == nullptr) return false;
+  publish(backend, table);
+  return true;
+}
+
+bool backend_available(Backend backend) noexcept {
+  return table_for(backend) != nullptr;
+}
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) noexcept {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "neon") return Backend::kNeon;
+  return std::nullopt;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  return active_table().dot(a.data(), b.data(), a.size());
+}
+
+void axpy(double alpha, std::span<const double> x,
+          std::span<double> y) noexcept {
+  active_table().axpy(alpha, x.data(), y.data(), x.size());
+}
+
+void axpy4(const double (&alpha)[4], const double* const (&x)[4],
+           std::span<double> y) noexcept {
+  active_table().axpy4(alpha, x, y.data(), y.size());
+}
+
+void scal(double alpha, std::span<double> x) noexcept {
+  active_table().scal(alpha, x.data(), x.size());
+}
+
+void gemv(const double* a, std::size_t lda, std::size_t rows,
+          std::size_t cols, std::span<const double> x,
+          std::span<double> y) noexcept {
+  active_table().gemv(a, lda, rows, cols, x.data(), y.data());
+}
+
+void gemv_t(const double* a, std::size_t lda, std::size_t rows,
+            std::size_t cols, std::span<const double> x,
+            std::span<double> y) noexcept {
+  active_table().gemv_t(a, lda, rows, cols, x.data(), y.data());
+}
+
+void rank1_update(double* a, std::size_t lda, std::size_t rows,
+                  std::size_t cols, double alpha, std::span<const double> x,
+                  std::span<const double> y) noexcept {
+  active_table().rank1_update(a, lda, rows, cols, alpha, x.data(), y.data());
 }
 
 }  // namespace hgc::kernels

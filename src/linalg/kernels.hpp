@@ -2,36 +2,100 @@
 //
 // These are the named inner loops of the library: axpy/dot/scal/gemv plus a
 // row-blocked rank-1 update. All of them operate on caller-provided storage
-// (spans or raw row-major blocks with a leading dimension), never allocate,
-// and are the single place a future SIMD port has to touch.
+// (spans or raw row-major blocks with a leading dimension) and never
+// allocate. Since PR 9 they dispatch through a per-process backend table
+// (scalar / AVX2 / NEON) selected once at startup — see "Backends" below —
+// and every backend implements the SAME summation order, so the backend
+// choice never changes a byte of output.
 //
 // Determinism contract (the sweep's byte-identical-output guarantee relies
 // on this): every kernel uses a FIXED, data-independent summation order.
-//   * dot() accumulates four interleaved lanes — lane l sums elements
-//     l, l+4, l+8, … in ascending index order — and combines them as
-//     (lane0 + lane1) + (lane2 + lane3), then adds the scalar tail in
+//   * dot() accumulates SIXTEEN interleaved lanes — lane l sums elements
+//     l, l+16, l+32, … in ascending index order — and combines them in a
+//     fixed tree chosen to map exactly onto four 4-wide vector
+//     accumulators:
+//         u_s = (lane_s + lane_{s+4}) + (lane_{s+8} + lane_{s+12})
+//         result = (u_0 + u_1) + (u_2 + u_3)
+//     for s = 0..3, then adds the scalar tail (n mod 16 elements) in
 //     ascending order. The order depends only on the span length, never on
-//     alignment, thread count, or call history.
-//   * gemv() reduces each output element with dot(), so it inherits that
-//     order; gemv_t() and rank1_update() have no reductions — each output
-//     element is updated by one in-order pass over the rows.
+//     alignment, thread count, backend, or call history. (The AVX2 backend
+//     keeps lanes s, s+4, s+8, s+12 in vector-lane s of four 256-bit
+//     accumulators, so its lanewise adds and ordered horizontal reduce
+//     reproduce this tree operation-for-operation; NEON uses eight 2-wide
+//     accumulators with the analogous pairing.)
+//   * gemv() reduces each output element with dot()'s order — row blocking
+//     in a backend may interleave rows for throughput, but each row keeps
+//     its own sixteen accumulators, so per-element arithmetic is unchanged.
+//   * gemv_t() and rank1_update() have no reductions — each output element
+//     is updated by one in-order pass over the rows, and every per-element
+//     update is a single mul + add in every backend (the AVX2/NEON TUs are
+//     compiled with FP contraction off, so no backend fuses them).
 // Results are therefore bit-identical for identical inputs across runs,
-// thread counts, and call sites. Changing any loop here changes numeric
-// results globally; re-baseline the figure outputs if you do.
+// thread counts, call sites, and backends. Changing any loop here changes
+// numeric results globally; re-baseline the figure outputs if you do.
+// (PR 9 did exactly that once: the dot order went from four lanes to the
+// sixteen lanes above so that a SIMD backend could beat the scalar one
+// instead of merely matching its four-adds-in-flight latency ceiling.)
+//
+// Backends: the table is chosen on first kernel use (or explicitly via
+// set_backend) in this priority order:
+//   1. the HGC_KERNEL_BACKEND environment variable (scalar|avx2|neon),
+//      when set to an available backend — an unknown or unavailable name
+//      warns once on stderr and falls back to auto-detection;
+//   2. the best backend the host supports (cpuid): avx2, then neon;
+//   3. scalar.
+// apps expose the same override as a --kernel-backend flag. Selection is a
+// single atomic pointer install: benign if two threads race to first use,
+// and set_backend() mid-run only affects subsequent calls (the sweep sets
+// it before any cell runs).
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
+#include <string_view>
 
 namespace hgc::kernels {
 
-/// Σ a[i]·b[i] with the four-lane order documented above. Lengths must match
-/// (checked by the hgc::dot wrapper; this layer trusts its caller).
+// ---- Backend selection --------------------------------------------------
+
+enum class Backend : int { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// The backend servicing kernel calls, selecting one (env override, then
+/// cpuid) on first use.
+Backend active_backend() noexcept;
+
+/// Force the active backend. Returns false (and changes nothing) when the
+/// backend is not available on this build/host.
+bool set_backend(Backend backend) noexcept;
+
+/// Whether a backend is compiled in AND executable on this host.
+bool backend_available(Backend backend) noexcept;
+
+/// Stable lower-case name: "scalar", "avx2", "neon".
+const char* backend_name(Backend backend) noexcept;
+
+/// Parse a backend name as spelled by backend_name (and the
+/// HGC_KERNEL_BACKEND / --kernel-backend overrides).
+std::optional<Backend> parse_backend(std::string_view name) noexcept;
+
+// ---- Kernels ------------------------------------------------------------
+
+/// Σ a[i]·b[i] with the sixteen-lane order documented above. Lengths must
+/// match (checked by the hgc::dot wrapper; this layer trusts its caller).
 double dot(std::span<const double> a, std::span<const double> b) noexcept;
 
 /// y ← y + alpha·x (elementwise; no reduction, order-insensitive).
 void axpy(double alpha, std::span<const double> x,
           std::span<double> y) noexcept;
+
+/// Four fused axpys: per element, y[i] += alpha[0]·x[0][i], then
+/// alpha[1]·x[1][i], then [2], then [3] — chained in that exact order, each
+/// a single mul + add, so the result is bit-identical to four sequential
+/// axpy() calls while y streams through cache once instead of four times.
+/// The blocked LU's trailing update is built on this.
+void axpy4(const double (&alpha)[4], const double* const (&x)[4],
+           std::span<double> y) noexcept;
 
 /// x ← alpha·x.
 void scal(double alpha, std::span<double> x) noexcept;
@@ -50,7 +114,7 @@ void gemv_t(const double* a, std::size_t lda, std::size_t rows,
             std::span<double> y) noexcept;
 
 /// A ← A + alpha·x·yᵀ, blocked four rows at a time so y streams through
-/// cache once per block. Per-element arithmetic is a single fused update,
+/// cache once per block. Per-element arithmetic is a single mul + add,
 /// so the row blocking cannot change results.
 void rank1_update(double* a, std::size_t lda, std::size_t rows,
                   std::size_t cols, double alpha, std::span<const double> x,

@@ -1,0 +1,187 @@
+// NEON backend: the documented sixteen-lane summation order on 128-bit
+// registers (AArch64 Advanced SIMD, two doubles per register).
+//
+// Compiled with -ffp-contract=off and written with explicit vmulq/vaddq
+// pairs (never vfmaq): a fused multiply-add rounds once where the
+// contract's mul+add rounds twice, which would break bit-identity with the
+// scalar backend.
+//
+// Lane mapping: accumulator q_t covers elements i+2t, i+2t+1 of each
+// 16-element block, so vector-lane j of q_t is scalar lane 2t+j. The
+// documented tree u_s = (lane_s + lane_{s+4}) + (lane_{s+8} + lane_{s+12})
+// groups lanes whose indices differ by 4 — lanes 4 apart sit in registers
+// 2 apart in the same vector lane — so
+//     w0 = (q0 + q2) + (q4 + q6)   holds [u_0, u_1]
+//     w1 = (q1 + q3) + (q5 + q7)   holds [u_2, u_3]
+// and (w0[0] + w0[1]) + (w1[0] + w1[1]) = (u_0+u_1)+(u_2+u_3) finishes the
+// reduce exactly as documented.
+//
+// This backend has no CI leg (the fleet is x86); the bit-identity property
+// test in tests/test_kernels.cpp covers it on any ARM host that runs the
+// suite.
+#include "linalg/kernels_dispatch.hpp"
+
+#if defined(__aarch64__) || defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace hgc::kernels::detail {
+namespace {
+
+double dot_neon(const double* pa, const double* pb, std::size_t n) noexcept {
+  float64x2_t q0 = vdupq_n_f64(0.0), q1 = vdupq_n_f64(0.0);
+  float64x2_t q2 = vdupq_n_f64(0.0), q3 = vdupq_n_f64(0.0);
+  float64x2_t q4 = vdupq_n_f64(0.0), q5 = vdupq_n_f64(0.0);
+  float64x2_t q6 = vdupq_n_f64(0.0), q7 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    q0 = vaddq_f64(q0, vmulq_f64(vld1q_f64(pa + i), vld1q_f64(pb + i)));
+    q1 = vaddq_f64(q1,
+                   vmulq_f64(vld1q_f64(pa + i + 2), vld1q_f64(pb + i + 2)));
+    q2 = vaddq_f64(q2,
+                   vmulq_f64(vld1q_f64(pa + i + 4), vld1q_f64(pb + i + 4)));
+    q3 = vaddq_f64(q3,
+                   vmulq_f64(vld1q_f64(pa + i + 6), vld1q_f64(pb + i + 6)));
+    q4 = vaddq_f64(q4,
+                   vmulq_f64(vld1q_f64(pa + i + 8), vld1q_f64(pb + i + 8)));
+    q5 = vaddq_f64(q5, vmulq_f64(vld1q_f64(pa + i + 10),
+                                 vld1q_f64(pb + i + 10)));
+    q6 = vaddq_f64(q6, vmulq_f64(vld1q_f64(pa + i + 12),
+                                 vld1q_f64(pb + i + 12)));
+    q7 = vaddq_f64(q7, vmulq_f64(vld1q_f64(pa + i + 14),
+                                 vld1q_f64(pb + i + 14)));
+  }
+  const float64x2_t w0 = vaddq_f64(vaddq_f64(q0, q2), vaddq_f64(q4, q6));
+  const float64x2_t w1 = vaddq_f64(vaddq_f64(q1, q3), vaddq_f64(q5, q7));
+  double acc = (vgetq_lane_f64(w0, 0) + vgetq_lane_f64(w0, 1)) +
+               (vgetq_lane_f64(w1, 0) + vgetq_lane_f64(w1, 1));
+  for (; i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+void axpy_neon(double alpha, const double* px, double* py,
+               std::size_t n) noexcept {
+  const float64x2_t av = vdupq_n_f64(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(py + i, vaddq_f64(vld1q_f64(py + i),
+                                vmulq_f64(av, vld1q_f64(px + i))));
+  for (; i < n; ++i) py[i] += alpha * px[i];
+}
+
+void axpy4_neon(const double* alpha, const double* const* px, double* py,
+                std::size_t n) noexcept {
+  const float64x2_t a0 = vdupq_n_f64(alpha[0]);
+  const float64x2_t a1 = vdupq_n_f64(alpha[1]);
+  const float64x2_t a2 = vdupq_n_f64(alpha[2]);
+  const float64x2_t a3 = vdupq_n_f64(alpha[3]);
+  const double* x0 = px[0];
+  const double* x1 = px[1];
+  const double* x2 = px[2];
+  const double* x3 = px[3];
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t v = vld1q_f64(py + i);
+    v = vaddq_f64(v, vmulq_f64(a0, vld1q_f64(x0 + i)));
+    v = vaddq_f64(v, vmulq_f64(a1, vld1q_f64(x1 + i)));
+    v = vaddq_f64(v, vmulq_f64(a2, vld1q_f64(x2 + i)));
+    v = vaddq_f64(v, vmulq_f64(a3, vld1q_f64(x3 + i)));
+    vst1q_f64(py + i, v);
+  }
+  for (; i < n; ++i) {
+    double v = py[i];
+    v += alpha[0] * x0[i];
+    v += alpha[1] * x1[i];
+    v += alpha[2] * x2[i];
+    v += alpha[3] * x3[i];
+    py[i] = v;
+  }
+}
+
+void scal_neon(double alpha, double* px, std::size_t n) noexcept {
+  const float64x2_t av = vdupq_n_f64(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(px + i, vmulq_f64(vld1q_f64(px + i), av));
+  for (; i < n; ++i) px[i] *= alpha;
+}
+
+void gemv_neon(const double* a, std::size_t lda, std::size_t rows,
+               std::size_t cols, const double* x, double* y) noexcept {
+  for (std::size_t r = 0; r < rows; ++r)
+    y[r] = dot_neon(a + r * lda, x, cols);
+}
+
+void gemv_t_neon(const double* a, std::size_t lda, std::size_t rows,
+                 std::size_t cols, const double* x, double* y) noexcept {
+  for (std::size_t c = 0; c < cols; ++c) y[c] = 0.0;
+  for (std::size_t r = 0; r < rows; ++r)
+    axpy_neon(x[r], a + r * lda, y, cols);
+}
+
+void rank1_update_neon(double* a, std::size_t lda, std::size_t rows,
+                       std::size_t cols, double alpha, const double* x,
+                       const double* y) noexcept {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    double* a0 = a + r * lda;
+    double* a1 = a0 + lda;
+    double* a2 = a1 + lda;
+    double* a3 = a2 + lda;
+    const float64x2_t s0 = vdupq_n_f64(alpha * x[r]);
+    const float64x2_t s1 = vdupq_n_f64(alpha * x[r + 1]);
+    const float64x2_t s2 = vdupq_n_f64(alpha * x[r + 2]);
+    const float64x2_t s3 = vdupq_n_f64(alpha * x[r + 3]);
+    std::size_t c = 0;
+    for (; c + 2 <= cols; c += 2) {
+      const float64x2_t v = vld1q_f64(y + c);
+      vst1q_f64(a0 + c, vaddq_f64(vld1q_f64(a0 + c), vmulq_f64(s0, v)));
+      vst1q_f64(a1 + c, vaddq_f64(vld1q_f64(a1 + c), vmulq_f64(s1, v)));
+      vst1q_f64(a2 + c, vaddq_f64(vld1q_f64(a2 + c), vmulq_f64(s2, v)));
+      vst1q_f64(a3 + c, vaddq_f64(vld1q_f64(a3 + c), vmulq_f64(s3, v)));
+    }
+    for (; c < cols; ++c) {
+      const double v = y[c];
+      a0[c] += (alpha * x[r]) * v;
+      a1[c] += (alpha * x[r + 1]) * v;
+      a2[c] += (alpha * x[r + 2]) * v;
+      a3[c] += (alpha * x[r + 3]) * v;
+    }
+  }
+  for (; r < rows; ++r) {
+    double* ar = a + r * lda;
+    const float64x2_t sv = vdupq_n_f64(alpha * x[r]);
+    const double s = alpha * x[r];
+    std::size_t c = 0;
+    for (; c + 2 <= cols; c += 2)
+      vst1q_f64(ar + c, vaddq_f64(vld1q_f64(ar + c),
+                                  vmulq_f64(sv, vld1q_f64(y + c))));
+    for (; c < cols; ++c) ar[c] += s * y[c];
+  }
+}
+
+const KernelTable kNeonTable = {
+    .dot = dot_neon,
+    .axpy = axpy_neon,
+    .axpy4 = axpy4_neon,
+    .scal = scal_neon,
+    .gemv = gemv_neon,
+    .gemv_t = gemv_t_neon,
+    .rank1_update = rank1_update_neon,
+};
+
+}  // namespace
+
+const KernelTable* neon_table() noexcept { return &kNeonTable; }
+
+}  // namespace hgc::kernels::detail
+
+#else  // not an ARM target
+
+namespace hgc::kernels::detail {
+
+const KernelTable* neon_table() noexcept { return nullptr; }
+
+}  // namespace hgc::kernels::detail
+
+#endif

@@ -1,5 +1,6 @@
 #include "linalg/lu.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "linalg/kernels.hpp"
@@ -7,10 +8,41 @@
 namespace hgc {
 namespace {
 constexpr double kPivotTolerance = 1e-12;
-}
+
+// Panel width for the blocked factorization. 32 trailing-row factors plus a
+// 32-row pivot panel fit comfortably in L1/L2 at the sweep's sizes, and the
+// trailing matrix is streamed n/32 times instead of n times.
+constexpr std::size_t kLuPanel = 32;
+}  // namespace
 
 namespace linalg_detail {
 
+// Right-looking blocked LU with partial pivoting.
+//
+// Columns are processed in panels of kLuPanel. Within a panel, each column
+// is pivoted and factored eagerly, but its axpy update touches only the
+// remaining PANEL columns; the update of everything right of the panel is
+// deferred. After the panel, one row-ascending pass applies all deferred
+// contributions: row r receives those of panel columns j < min(r, k1) in
+// ascending j, fused four columns per sweep so the trailing row is read
+// and written once per FOUR updates instead of once per update — that
+// fusion, not the panel split alone, is where the measured win comes from.
+// Ascending r makes the pass correct — a panel row j < k1 is fully updated
+// (it is a finished U row) before any row r > j reads its trailing part —
+// so the single loop covers both the U12 triangular solve and the A22
+// rank-kLuPanel update.
+//
+// Determinism: every element (r, c) still receives its updates as the same
+// ascending-j sequence an unblocked same-order elimination would apply —
+// axpy4 chains its four adds in argument order per element, bit-identical
+// to four sequential axpys in every backend — and pivot columns are always
+// fully updated before they are searched, so pivot choices are blocking-
+// and backend-independent.
+//
+// Near-singular columns (pivot below tolerance) are skipped exactly as
+// before: no swap, no factors, raw values stay below the diagonal, and the
+// deferred pass drops the column via `skip` (compaction preserves the
+// ascending-j order of the survivors).
 bool lu_factor_inplace(Matrix& lu, std::vector<std::size_t>& perm,
                        int& sign) {
   const std::size_t n = lu.rows();
@@ -19,34 +51,72 @@ bool lu_factor_inplace(Matrix& lu, std::vector<std::size_t>& perm,
   sign = 1;
   bool singular = false;
 
-  for (std::size_t col = 0; col < n; ++col) {
-    // Partial pivoting: bring the largest remaining |entry| to the diagonal.
-    std::size_t pivot = col;
-    double best = std::abs(lu(col, col));
-    for (std::size_t r = col + 1; r < n; ++r) {
-      const double cand = std::abs(lu(r, col));
-      if (cand > best) {
-        best = cand;
-        pivot = r;
+  for (std::size_t k0 = 0; k0 < n; k0 += kLuPanel) {
+    const std::size_t k1 = std::min(k0 + kLuPanel, n);
+    std::array<bool, kLuPanel> skip{};
+
+    // Factor the panel: pivot + eliminate, updating panel columns only.
+    for (std::size_t col = k0; col < k1; ++col) {
+      // Partial pivoting: bring the largest remaining |entry| to the
+      // diagonal. Column col is fully up to date here (previous panels'
+      // deferred passes plus this panel's eager updates).
+      std::size_t pivot = col;
+      double best = std::abs(lu(col, col));
+      for (std::size_t r = col + 1; r < n; ++r) {
+        const double cand = std::abs(lu(r, col));
+        if (cand > best) {
+          best = cand;
+          pivot = r;
+        }
+      }
+      if (best < kPivotTolerance) {
+        singular = true;
+        skip[col - k0] = true;
+        continue;
+      }
+      if (pivot != col) {
+        for (std::size_t c = 0; c < n; ++c)
+          std::swap(lu(pivot, c), lu(col, c));
+        std::swap(perm[pivot], perm[col]);
+        sign = -sign;
+      }
+      const double inv_diag = 1.0 / lu(col, col);
+      const auto pivot_tail = lu.row(col).subspan(col + 1, k1 - col - 1);
+      for (std::size_t r = col + 1; r < n; ++r) {
+        const double factor = lu(r, col) * inv_diag;
+        lu(r, col) = factor;
+        kernels::axpy(-factor, pivot_tail,
+                      lu.row(r).subspan(col + 1, k1 - col - 1));
       }
     }
-    if (best < kPivotTolerance) {
-      singular = true;
-      continue;
-    }
-    if (pivot != col) {
-      for (std::size_t c = 0; c < n; ++c)
-        std::swap(lu(pivot, c), lu(col, c));
-      std::swap(perm[pivot], perm[col]);
-      sign = -sign;
-    }
-    const double inv_diag = 1.0 / lu(col, col);
-    const auto pivot_tail = lu.row(col).subspan(col + 1);
-    for (std::size_t r = col + 1; r < n; ++r) {
-      const double factor = lu(r, col) * inv_diag;
-      lu(r, col) = factor;
-      if (factor == 0.0) continue;
-      kernels::axpy(-factor, pivot_tail, lu.row(r).subspan(col + 1));
+
+    // Deferred trailing pass (fused U12 solve + A22 update; see above).
+    if (k1 == n) continue;
+    const std::size_t len = n - k1;
+    for (std::size_t r = k0 + 1; r < n; ++r) {
+      const std::size_t jmax = std::min(r, k1);
+      // Compact the non-skipped contributions, then apply them four per
+      // sweep through kernels::axpy4 (bit-identical to four sequential
+      // axpys by its contract) — the fusion batches memory traffic, not
+      // arithmetic.
+      const double* u[kLuPanel];
+      double f[kLuPanel];
+      std::size_t cnt = 0;
+      for (std::size_t j = k0; j < jmax; ++j) {
+        if (skip[j - k0]) continue;
+        f[cnt] = -lu(r, j);
+        u[cnt] = lu.row(j).data() + k1;
+        ++cnt;
+      }
+      const std::span<double> target(lu.row(r).data() + k1, len);
+      std::size_t g = 0;
+      for (; g + 4 <= cnt; g += 4) {
+        const double alpha[4] = {f[g], f[g + 1], f[g + 2], f[g + 3]};
+        const double* const x[4] = {u[g], u[g + 1], u[g + 2], u[g + 3]};
+        kernels::axpy4(alpha, x, target);
+      }
+      for (; g < cnt; ++g)
+        kernels::axpy(f[g], std::span<const double>(u[g], len), target);
     }
   }
   return !singular;

@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "core/cyclic.hpp"
 #include "core/robustness.hpp"
@@ -373,6 +377,224 @@ TEST(Robustness, ThreadLocalWorkspacesSolveConcurrently) {
     });
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---- Cross-backend bit-identity -----------------------------------------
+//
+// The sweep's byte-identical-output guarantee reduces to: every kernel
+// backend produces the SAME BITS as the scalar reference for the same
+// inputs. These tests compare through std::bit_cast — not a tolerance —
+// over randomized shapes, deliberately misaligned spans (SIMD backends use
+// unaligned loads; a backend that secretly required alignment would peel
+// differently and change the summation order), and every tail length
+// 0..15 around the 16-element block size.
+
+// Restores whatever backend the process had selected, so these tests can
+// flip backends without perturbing the rest of the binary.
+class BackendRestorer {
+ public:
+  BackendRestorer() : original_(kernels::active_backend()) {}
+  ~BackendRestorer() { kernels::set_backend(original_); }
+
+ private:
+  kernels::Backend original_;
+};
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+std::vector<kernels::Backend> available_simd_backends() {
+  std::vector<kernels::Backend> simd;
+  for (kernels::Backend b :
+       {kernels::Backend::kAvx2, kernels::Backend::kNeon})
+    if (kernels::backend_available(b)) simd.push_back(b);
+  return simd;
+}
+
+std::vector<double> random_buffer(std::size_t n, Rng& rng) {
+  std::vector<double> buf(n);
+  for (double& v : buf) v = rng.normal();
+  return buf;
+}
+
+TEST(KernelBackends, VectorKernelsBitIdenticalToScalar) {
+  const std::vector<kernels::Backend> simd = available_simd_backends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend available on this host";
+  BackendRestorer restore;
+  Rng rng(20260807);
+
+  // Every tail length 0..15 (sizes < 16 are all tail), plus bodies with
+  // every tail on top, plus a couple of odd mid sizes.
+  std::vector<std::size_t> lengths;
+  for (std::size_t t = 0; t < 16; ++t) {
+    lengths.push_back(t);
+    lengths.push_back(128 + t);
+  }
+  lengths.push_back(33);
+  lengths.push_back(95);
+
+  for (kernels::Backend backend : simd) {
+    for (std::size_t n : lengths) {
+      for (std::size_t offset : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{3}}) {
+        const std::vector<double> xa = random_buffer(offset + n, rng);
+        const std::vector<double> xb = random_buffer(offset + n, rng);
+        const std::vector<double> y0 = random_buffer(offset + n, rng);
+        const double alpha = rng.normal();
+        const std::span<const double> a =
+            std::span<const double>(xa).subspan(offset);
+        const std::span<const double> b =
+            std::span<const double>(xb).subspan(offset);
+
+        const std::vector<double> x4a = random_buffer(n, rng);
+        const std::vector<double> x4b = random_buffer(n, rng);
+        const double alpha4[4] = {rng.normal(), rng.normal(), rng.normal(),
+                                  rng.normal()};
+        const double* const x4[4] = {a.data(), x4a.data(), b.data(),
+                                     x4b.data()};
+
+        ASSERT_TRUE(kernels::set_backend(kernels::Backend::kScalar));
+        const double dot_ref = kernels::dot(a, b);
+        std::vector<double> axpy_ref = y0;
+        kernels::axpy(alpha, a, std::span<double>(axpy_ref).subspan(offset));
+        std::vector<double> scal_ref = y0;
+        kernels::scal(alpha, std::span<double>(scal_ref).subspan(offset));
+        std::vector<double> axpy4_ref = y0;
+        kernels::axpy4(alpha4, x4,
+                       std::span<double>(axpy4_ref).subspan(offset));
+
+        ASSERT_TRUE(kernels::set_backend(backend));
+        const double dot_simd = kernels::dot(a, b);
+        std::vector<double> axpy_simd = y0;
+        kernels::axpy(alpha, a,
+                      std::span<double>(axpy_simd).subspan(offset));
+        std::vector<double> scal_simd = y0;
+        kernels::scal(alpha, std::span<double>(scal_simd).subspan(offset));
+        std::vector<double> axpy4_simd = y0;
+        kernels::axpy4(alpha4, x4,
+                       std::span<double>(axpy4_simd).subspan(offset));
+
+        const std::string where = std::string(kernels::backend_name(backend)) +
+                                  " n=" + std::to_string(n) +
+                                  " offset=" + std::to_string(offset);
+        EXPECT_EQ(bits(dot_ref), bits(dot_simd)) << "dot " << where;
+        for (std::size_t i = 0; i < axpy_ref.size(); ++i) {
+          ASSERT_EQ(bits(axpy_ref[i]), bits(axpy_simd[i]))
+              << "axpy[" << i << "] " << where;
+          ASSERT_EQ(bits(scal_ref[i]), bits(scal_simd[i]))
+              << "scal[" << i << "] " << where;
+          ASSERT_EQ(bits(axpy4_ref[i]), bits(axpy4_simd[i]))
+              << "axpy4[" << i << "] " << where;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelBackends, MatrixKernelsBitIdenticalToScalar) {
+  const std::vector<kernels::Backend> simd = available_simd_backends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend available on this host";
+  BackendRestorer restore;
+  Rng rng(977);
+
+  struct Shape {
+    std::size_t rows, cols, pad;  // lda = cols + pad exercises sub-blocks
+  };
+  const Shape shapes[] = {{1, 1, 0},  {2, 3, 0},  {3, 17, 2}, {5, 16, 0},
+                          {7, 35, 3}, {8, 69, 1}, {58, 116, 0}};
+
+  for (kernels::Backend backend : simd) {
+    for (const Shape& s : shapes) {
+      const std::size_t lda = s.cols + s.pad;
+      const std::vector<double> a0 = random_buffer(s.rows * lda, rng);
+      const std::vector<double> x_rows = random_buffer(s.rows, rng);
+      const std::vector<double> x_cols = random_buffer(s.cols, rng);
+      const double alpha = rng.normal();
+
+      ASSERT_TRUE(kernels::set_backend(kernels::Backend::kScalar));
+      std::vector<double> gemv_ref(s.rows);
+      kernels::gemv(a0.data(), lda, s.rows, s.cols, x_cols, gemv_ref);
+      std::vector<double> gemv_t_ref(s.cols);
+      kernels::gemv_t(a0.data(), lda, s.rows, s.cols, x_rows, gemv_t_ref);
+      std::vector<double> rank1_ref = a0;
+      kernels::rank1_update(rank1_ref.data(), lda, s.rows, s.cols, alpha,
+                            x_rows, x_cols);
+
+      ASSERT_TRUE(kernels::set_backend(backend));
+      std::vector<double> gemv_simd(s.rows);
+      kernels::gemv(a0.data(), lda, s.rows, s.cols, x_cols, gemv_simd);
+      std::vector<double> gemv_t_simd(s.cols);
+      kernels::gemv_t(a0.data(), lda, s.rows, s.cols, x_rows, gemv_t_simd);
+      std::vector<double> rank1_simd = a0;
+      kernels::rank1_update(rank1_simd.data(), lda, s.rows, s.cols, alpha,
+                            x_rows, x_cols);
+
+      const std::string where = std::string(kernels::backend_name(backend)) +
+                                " rows=" + std::to_string(s.rows) +
+                                " cols=" + std::to_string(s.cols) +
+                                " lda=" + std::to_string(lda);
+      for (std::size_t r = 0; r < s.rows; ++r)
+        ASSERT_EQ(bits(gemv_ref[r]), bits(gemv_simd[r]))
+            << "gemv[" << r << "] " << where;
+      for (std::size_t c = 0; c < s.cols; ++c)
+        ASSERT_EQ(bits(gemv_t_ref[c]), bits(gemv_t_simd[c]))
+            << "gemv_t[" << c << "] " << where;
+      for (std::size_t i = 0; i < rank1_ref.size(); ++i)
+        ASSERT_EQ(bits(rank1_ref[i]), bits(rank1_simd[i]))
+            << "rank1[" << i << "] " << where;
+    }
+  }
+}
+
+TEST(KernelBackends, Axpy4MatchesFourSequentialAxpys) {
+  // axpy4's contract: bit-identical to four sequential axpys, in every
+  // backend (the blocked LU's determinism proof leans on this).
+  BackendRestorer restore;
+  Rng rng(4242);
+  std::vector<kernels::Backend> backends = {kernels::Backend::kScalar};
+  for (kernels::Backend b : available_simd_backends()) backends.push_back(b);
+  for (kernels::Backend backend : backends) {
+    ASSERT_TRUE(kernels::set_backend(backend));
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{96}, std::size_t{101}}) {
+      const std::vector<double> x0 = random_buffer(n, rng);
+      const std::vector<double> x1 = random_buffer(n, rng);
+      const std::vector<double> x2 = random_buffer(n, rng);
+      const std::vector<double> x3 = random_buffer(n, rng);
+      const std::vector<double> y0 = random_buffer(n, rng);
+      const double alpha[4] = {rng.normal(), rng.normal(), rng.normal(),
+                               rng.normal()};
+      const double* const x[4] = {x0.data(), x1.data(), x2.data(),
+                                  x3.data()};
+      std::vector<double> fused = y0;
+      kernels::axpy4(alpha, x, fused);
+      std::vector<double> sequential = y0;
+      kernels::axpy(alpha[0], x0, sequential);
+      kernels::axpy(alpha[1], x1, sequential);
+      kernels::axpy(alpha[2], x2, sequential);
+      kernels::axpy(alpha[3], x3, sequential);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(bits(fused[i]), bits(sequential[i]))
+            << kernels::backend_name(backend) << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelBackends, NamesParseAndAvailabilityAgree) {
+  BackendRestorer restore;
+  // scalar is always present; names round-trip through the parser.
+  EXPECT_TRUE(kernels::backend_available(kernels::Backend::kScalar));
+  for (kernels::Backend b : {kernels::Backend::kScalar,
+                             kernels::Backend::kAvx2,
+                             kernels::Backend::kNeon}) {
+    const auto parsed = kernels::parse_backend(kernels::backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+    // set_backend succeeds exactly when the backend is available.
+    EXPECT_EQ(kernels::set_backend(b), kernels::backend_available(b));
+  }
+  EXPECT_FALSE(kernels::parse_backend("sse2").has_value());
+  EXPECT_FALSE(kernels::parse_backend("").has_value());
+  EXPECT_FALSE(kernels::parse_backend("AVX2").has_value());
 }
 
 }  // namespace

@@ -28,8 +28,19 @@ Rules (see RULES for scopes and per-rule allowlists):
                         summation-order decision nobody reviews.
   raw-allocation        Kernel/workspace code (src/linalg/) is allocation-
                         free on the hot path by contract (pinned by an
-                        instrumented-allocator test); naked new/malloc there
-                        is either a leak risk or a perf regression.
+                        instrumented-allocator test); naked new/malloc (or
+                        aligned_alloc/posix_memalign/_mm_malloc from a SIMD
+                        backend) there is either a leak risk or a perf
+                        regression.
+  intrinsics-outside-linalg
+                        Vector intrinsics (immintrin/arm_neon includes,
+                        _mm*/v*q_f64 calls) are only allowed inside
+                        src/linalg/, where the backend TUs implement the
+                        documented summation order under the bit-identity
+                        CI diff. An intrinsics loop anywhere else is an
+                        unreviewed parallel summation-order decision — the
+                        same bug class raw-fp-accumulation catches, one
+                        level down.
 
 Suppressions: `// lint:allow(<rule>): <justification>` — trailing on the
 offending line, or alone on the line above (then it covers the next line
@@ -129,8 +140,28 @@ RULES = {
             re.compile(r"\bmalloc\s*\("),
             re.compile(r"\bcalloc\s*\("),
             re.compile(r"\brealloc\s*\("),
+            # Aligned-allocation spellings a SIMD backend might reach for.
+            re.compile(r"\baligned_alloc\s*\("),
+            re.compile(r"\bposix_memalign\s*\("),
+            re.compile(r"\b_mm_malloc\s*\("),
         ],
         include=["src/linalg/"],
+    ),
+    "intrinsics-outside-linalg": Rule(
+        name="intrinsics-outside-linalg",
+        description=(
+            "vector intrinsics outside src/linalg/ (the kernel backends "
+            "are the only reviewed home for SIMD; see kernels.hpp's "
+            "summation-order contract)"
+        ),
+        patterns=[
+            re.compile(r"#\s*include\s*<(?:immintrin|x86intrin|x86gprintrin"
+                       r"|arm_neon|arm_sve)\.h>"),
+            re.compile(r"\b_mm\d*_\w+\s*\("),
+            re.compile(r"\bv(?:add|sub|mul|div|fma|fms|ld1|st1|dup|get|set|"
+                       r"abs|neg|max|min)q?_(?:lane_)?f(?:32|64)\b"),
+        ],
+        exclude=["src/linalg/"],
     ),
 }
 

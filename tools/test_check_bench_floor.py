@@ -150,15 +150,93 @@ def test_mflops_floor_uses_divisor_headroom():
     assert "below floor 1800.0" in out
 
 
-def test_repo_baseline_file_is_well_formed():
-    # The checked-in baseline must never contain a key the checker would
-    # reject, and every entry must enforce something.
+def test_backend_suffix_checked_when_context_matches():
+    report = {
+        "context": {"hgc_kernel_backend": "avx2"},
+        "benchmarks": [bench("BM_Kernel/16384", mflops=100.0)],
+    }
+    baseline = {
+        "mflops_floor_divisor": 5.0,
+        "benchmarks": {"BM_Kernel/16384@avx2": {"mflops": 9000}},
+    }
+    code, out = run_checker(report, baseline)
+    assert code == 1
+    # Enforced (and failed) under the full suffixed key, against the
+    # report's UNsuffixed bench name.
+    assert "BM_Kernel/16384@avx2: mflops 100.0 below floor" in out
+
+
+def test_backend_suffix_skipped_when_context_differs():
+    report = {
+        "context": {"hgc_kernel_backend": "scalar"},
+        "benchmarks": [bench("BM_Kernel/16384", mflops=100.0)],
+    }
+    baseline = {
+        "benchmarks": {
+            "BM_Kernel/16384@avx2": {"mflops": 9000},
+            "BM_Kernel/16384@scalar": {"mflops": 90},
+        }
+    }
+    code, out = run_checker(report, baseline)
+    assert code == 0, out
+    # The other-backend entry is reported as skipped, not silently dropped.
+    assert "1 other-backend entry skipped" in out
+    assert "SKIP BM_Kernel/16384@avx2" in out
+
+
+def test_backend_suffix_without_report_context_fails():
+    # A per-backend floor against a report with no backend stamp must fail:
+    # silently enforcing (or skipping) it would hide a stale bench binary.
+    report = {"benchmarks": [bench("BM_Kernel/16384", mflops=9000.0)]}
+    baseline = {"benchmarks": {"BM_Kernel/16384@avx2": {"mflops": 90}}}
+    code, out = run_checker(report, baseline)
+    assert code == 1
+    assert "no context.hgc_kernel_backend" in out
+
+
+def test_unknown_backend_suffix_fails_by_name():
+    report = {
+        "context": {"hgc_kernel_backend": "scalar"},
+        "benchmarks": [bench("BM_Kernel", mflops=9000.0)],
+    }
+    baseline = {"benchmarks": {"BM_Kernel@sse2": {"mflops": 90}}}
+    code, out = run_checker(report, baseline)
+    assert code == 1
+    assert "unknown backend suffix 'sse2'" in out
+
+
+def _load_repo_baseline():
     path = os.path.join(_HERE, os.pardir, "bench", "kernels_baseline.json")
     with open(path) as f:
-        baseline = json.load(f)
-    for name, spec in baseline["benchmarks"].items():
-        assert set(spec) & check_bench_floor.CHECKED_KEYS, name
-        assert not set(spec) - check_bench_floor.CHECKED_KEYS, name
+        return json.load(f)
+
+
+def test_repo_baseline_file_is_well_formed():
+    # The checked-in baseline must never contain a key the checker would
+    # reject, every entry must enforce something, and any @backend suffix
+    # must be a backend the checker (and the bench binary) knows.
+    baseline = _load_repo_baseline()
+    for key, spec in baseline["benchmarks"].items():
+        assert set(spec) & check_bench_floor.CHECKED_KEYS, key
+        assert not set(spec) - check_bench_floor.CHECKED_KEYS, key
+        _, _, backend = key.partition("@")
+        if backend:
+            assert backend in check_bench_floor.KNOWN_BACKENDS, key
+
+
+def test_repo_baseline_simd_floors_are_2x_scalar():
+    # PR 9's acceptance criterion as a committed relationship: at the
+    # compute-bound kernel shapes, the SIMD floor must promise at least 2x
+    # the committed scalar baseline. (Enforced on the committed values, not
+    # a same-run measurement, so shared-runner noise cannot flake it.)
+    baseline = _load_repo_baseline()["benchmarks"]
+    for name in ("BM_KernelDot/16384", "BM_KernelDot/1024",
+                 "BM_KernelGemv/58/116"):
+        scalar = baseline[f"{name}@scalar"]["mflops"]
+        simd = baseline[f"{name}@avx2"]["mflops"]
+        assert simd >= 2 * scalar, (
+            f"{name}: @avx2 baseline {simd} is below 2x @scalar {scalar}"
+        )
 
 
 if __name__ == "__main__":

@@ -211,6 +211,56 @@ def test_raw_allocation_ignores_new_in_comment():
     assert code == 0, out
 
 
+def test_raw_allocation_fires_on_aligned_alloc_spellings():
+    # The SIMD backends make aligned allocation tempting; every spelling of
+    # it is still a raw allocation in the allocation-free layer.
+    lines = [
+        "void* p = std::aligned_alloc(32, 256);",
+        "int rc = posix_memalign(&p, 32, 256);",
+        "double* q = (double*)_mm_malloc(256, 32);",
+    ]
+    for line in lines:
+        code, out = run_lint(
+            {"src/linalg/aa.cpp": f"void f(void* p) {{ {line} }}\n"})
+        assert code == 1, f"{line!r} did not fire:\n{out}"
+        assert "[raw-allocation]" in out
+
+
+# --- intrinsics-outside-linalg -------------------------------------------
+
+def test_intrinsics_fire_outside_linalg():
+    # Headers, x86 calls, and NEON calls each fire anywhere outside
+    # src/linalg/ — SIMD has exactly one reviewed home.
+    cases = {
+        "src/core/fast.cpp": "#include <immintrin.h>\n",
+        "src/exec/hot.cpp":
+            "void f(double* a) { _mm256_storeu_pd(a, _mm256_setzero_pd()); }\n",
+        "apps/tool.cpp": "#include <arm_neon.h>\n",
+        "bench/b.cpp":
+            "float64x2_t g(float64x2_t a) { return vaddq_f64(a, a); }\n",
+    }
+    for relpath, snippet in cases.items():
+        code, out = run_lint({relpath: snippet})
+        assert code == 1, f"{relpath} did not fire:\n{out}"
+        assert "[intrinsics-outside-linalg]" in out
+
+
+def test_intrinsics_ignored_inside_linalg():
+    snippet = (
+        "#include <immintrin.h>\n"
+        "void f(double* a) { _mm256_storeu_pd(a, _mm256_setzero_pd()); }\n")
+    code, out = run_lint({"src/linalg/kernels_avx2.cpp": snippet})
+    assert code == 0, out
+
+
+def test_intrinsics_rule_ignores_lookalike_identifiers():
+    # vset_count / mm_total are ordinary names, not intrinsic calls.
+    snippet = ("int vset_count(int n) { return n; }\n"
+               "double mm_total = 0.0;\n")
+    code, out = run_lint({"src/core/names.cpp": snippet})
+    assert code == 0, out
+
+
 # --- lint:allow mechanics ------------------------------------------------
 
 def test_allow_suppresses_exactly_one_line():
