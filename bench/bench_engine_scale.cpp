@@ -1,16 +1,20 @@
 // Engine scale: how fast the discrete-event engine turns the crank.
 //
-// Three parts, all on the shared src/engine/ event loop:
+// Four parts, all on the shared src/engine/ event loop:
 //   1. A 1,000-worker heterogeneity-aware coded round — the event-queue and
 //      streaming-decode hot path at two orders of magnitude beyond the
 //      paper's clusters. The headline number is wall time per round, which
 //      should sit well under a second (milliseconds, in practice).
-//   2. A worker-churn scenario: workers leave and join mid-run, the master
+//   2. A 10,000-worker round — the scale the sparse coding layer opens up:
+//      with B stored CSR, construction plus a round stays in tens of
+//      milliseconds where the dense representation needed gigabytes.
+//   3. A worker-churn scenario: workers leave and join mid-run, the master
 //      re-instantiates the scheme each time membership changes.
-//   3. A trace-replay scenario driven end to end from a CSV delay trace
+//   4. A trace-replay scenario driven end to end from a CSV delay trace
 //      written and loaded on the spot.
 //
-// Usage: bench_engine_scale [--workers=1000] [--rounds=20] [--s=2]
+// Usage: bench_engine_scale [--workers=1000] [--big-workers=10000]
+//                           [--rounds=20] [--big-rounds=5] [--s=2]
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -30,19 +34,15 @@ namespace {
 using namespace hgc;
 
 Cluster big_cluster(std::size_t workers) {
-  // Same vCPU mix as the paper's Table II clusters, scaled out.
-  const std::size_t quarter = workers / 4;
-  return Cluster::from_vcpu_histogram(
-      "scale-" + std::to_string(workers),
-      {{2, quarter},
-       {4, quarter},
-       {8, quarter},
-       {12, workers - 3 * quarter}});
+  // Shared scale preset (cluster/cluster.hpp): the same machine mix the
+  // exec grids' "scale-<N>" cluster name resolves to.
+  return scale_cluster(workers);
 }
 
-void bench_big_round(std::size_t workers, std::size_t rounds, std::size_t s) {
-  std::cout << "--- 1) " << workers << "-worker coded round (heter-aware, s = "
-            << s << ") ---\n\n";
+void bench_big_round(int part, std::size_t workers, std::size_t rounds,
+                     std::size_t s) {
+  std::cout << "--- " << part << ") " << workers
+            << "-worker coded round (heter-aware, s = " << s << ") ---\n\n";
   const Cluster cluster = big_cluster(workers);
 
   Rng construction_rng(1);
@@ -102,7 +102,7 @@ void bench_big_round(std::size_t workers, std::size_t rounds, std::size_t s) {
 }
 
 void bench_churn(std::size_t s) {
-  std::cout << "--- 2) worker churn (200 workers, leaves + joins) ---\n\n";
+  std::cout << "--- 3) worker churn (200 workers, leaves + joins) ---\n\n";
   const Cluster cluster = big_cluster(200);
 
   engine::ChurnConfig config;
@@ -147,7 +147,7 @@ void bench_churn(std::size_t s) {
 }
 
 void bench_trace_replay(std::size_t s) {
-  std::cout << "--- 3) trace replay from CSV (64 workers) ---\n\n";
+  std::cout << "--- 4) trace replay from CSV (64 workers) ---\n\n";
   const Cluster cluster = big_cluster(64);
   const double t0 = ideal_iteration_time(cluster, s);
 
@@ -198,13 +198,18 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   const auto workers =
       static_cast<std::size_t>(args.get_int("workers", 1000));
+  const auto big_workers =
+      static_cast<std::size_t>(args.get_int("big-workers", 10000));
   const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 20));
+  const auto big_rounds =
+      static_cast<std::size_t>(args.get_int("big-rounds", 5));
   const auto s = static_cast<std::size_t>(args.get_int("s", 2));
   args.check_unused();
 
-  std::cout << "=== Engine scale: 1,000-worker rounds, churn, trace replay "
-               "===\n\n";
-  bench_big_round(workers, rounds, s);
+  std::cout << "=== Engine scale: 1,000- and 10,000-worker rounds, churn, "
+               "trace replay ===\n\n";
+  bench_big_round(1, workers, rounds, s);
+  bench_big_round(2, big_workers, big_rounds, s);
   bench_churn(s);
   bench_trace_replay(s);
   return 0;

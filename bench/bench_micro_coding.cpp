@@ -35,6 +35,7 @@
 #include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/qr.hpp"
+#include "linalg/sparse.hpp"
 #include "linalg/workspace.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
@@ -514,6 +515,57 @@ void BM_SchemeCacheGetOrCreate(benchmark::State& state) {
       static_cast<double>(cache.hits() + cache.misses());
 }
 BENCHMARK(BM_SchemeCacheGetOrCreate)->Arg(16)->Arg(58);
+
+// -------------------------------------------------- sparse coding layer --
+// The CSR representation is what holds B at 10k-worker scale; these benches
+// pin its two hot shapes. The sparse kernels are scalar by design (rows are
+// ≤(s+1)-sparse, no lane tree), so floors in kernels_baseline.json use
+// unsuffixed keys that bind every backend leg.
+
+void BM_SparseGemvT(benchmark::State& state) {
+  // a·B for a full coefficient vector — the verification product at scale.
+  // mflops counts 2·nnz true operations, not the 2·m·k a dense gemv_t pays.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  const Throughputs c = spread_throughputs(m);
+  Rng rng(27);
+  HeterAwareScheme scheme(c, 2 * m, s, rng);
+  const SparseRowMatrix& b = scheme.sparse_matrix();
+  Vector x(m, 0.5), y(b.cols());
+  AllocCounter allocs;
+  for (auto _ : state) {
+    sparse::gemv_t(b, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  allocs.report(state);  // kernels are allocation-free: expect 0
+  report_mflops(state, 2.0 * static_cast<double>(b.nnz()));
+}
+BENCHMARK(BM_SparseGemvT)
+    ->Args({58, 3})
+    ->Args({1000, 2})
+    ->Args({10000, 2});
+
+void BM_SparseDecode(benchmark::State& state) {
+  // Real-time decode at scale: the O(m) received scan plus the O(s³)
+  // null-space solve, with B never materialized densely. At m = 10,000 the
+  // dense representation alone would be 1.6 GB; this path touches O(m·s).
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  const Throughputs c = spread_throughputs(m);
+  Rng rng(28);
+  HeterAwareScheme scheme(c, 2 * m, s, rng);
+  std::vector<bool> received(m, true);
+  for (std::size_t i = 0; i < s; ++i) received[2 * i] = false;
+  auto warmup = scheme.decoding_coefficients(received);
+  benchmark::DoNotOptimize(warmup);
+  AllocCounter allocs;
+  for (auto _ : state) {
+    auto coefficients = scheme.decoding_coefficients(received);
+    benchmark::DoNotOptimize(coefficients);
+  }
+  allocs.report(state);  // steady state: just the returned vector
+}
+BENCHMARK(BM_SparseDecode)->Args({1000, 2})->Args({10000, 2});
 
 void BM_EncodeGradient(benchmark::State& state) {
   // Worker-side linear combination for a DNN-sized flat gradient.

@@ -93,4 +93,13 @@ std::vector<Cluster> paper_clusters(double per_vcpu_rate) {
           cluster_c(per_vcpu_rate), cluster_d(per_vcpu_rate)};
 }
 
+Cluster scale_cluster(std::size_t workers, double per_vcpu_rate) {
+  HGC_REQUIRE(workers > 0, "scale cluster needs at least one worker");
+  const std::size_t quarter = workers / 4;
+  return Cluster::from_vcpu_histogram(
+      "scale-" + std::to_string(workers),
+      {{2, workers - 3 * quarter}, {4, quarter}, {8, quarter}, {12, quarter}},
+      per_vcpu_rate);
+}
+
 }  // namespace hgc

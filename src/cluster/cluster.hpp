@@ -65,4 +65,12 @@ Cluster cluster_d(double per_vcpu_rate = 1.0);  ///< 58 workers
 /// All four presets in order.
 std::vector<Cluster> paper_clusters(double per_vcpu_rate = 1.0);
 
+/// Synthetic heterogeneous cluster of `workers` machines for beyond-paper
+/// scale experiments (named "scale-<workers>"): the worker count splits as
+/// evenly as possible across the 2/4/8/12-vCPU classes (remainder to the
+/// slowest class), extending Table II's shape to sizes the paper never ran.
+/// Shared by bench_engine_scale and the exec grids' scale presets so "10k
+/// workers" means the same machine mix everywhere.
+Cluster scale_cluster(std::size_t workers, double per_vcpu_rate = 1.0);
+
 }  // namespace hgc

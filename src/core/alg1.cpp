@@ -123,7 +123,10 @@ Alg1Build build_alg1(const Assignment& assignment, std::size_t k,
   for (std::size_t w = 0; w < m; ++w)
     for (PartitionId p : assignment[w]) holders[p].push_back(w);
 
-  Matrix b(m, k);
+  // B is built sparse: exactly (s+1)·k entries regardless of m, so the
+  // construction cost no longer carries the O(m·k) dense footprint that
+  // walled out 10k-worker rounds.
+  SparseRowBuilder b(m, k);
   // One LU workspace serves all k per-partition solves: C_p is
   // (s+1)×(s+1) for every partition, so after partition 0 the factor and
   // solution buffers are warm and the loop allocates nothing.
@@ -140,10 +143,10 @@ Alg1Build build_alg1(const Assignment& assignment, std::size_t k,
     lu.factor_cols(c, cols);
     lu.solve_into(ones, d);
     for (std::size_t i = 0; i < holders[p].size(); ++i)
-      b(holders[p][i], p) = d[i];
+      b.set(holders[p][i], p, d[i]);
   }
 
-  return {std::move(b), Alg1Code(std::move(c), std::move(active), s)};
+  return {b.build(), Alg1Code(std::move(c), std::move(active), s)};
 }
 
 }  // namespace hgc

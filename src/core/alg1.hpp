@@ -13,6 +13,7 @@
 
 #include "core/types.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "util/rng.hpp"
 
 namespace hgc {
@@ -45,8 +46,8 @@ class Alg1Code {
 
 /// Result of running Algorithm 1 over an assignment.
 struct Alg1Build {
-  Matrix b;      ///< m×k coding matrix (rows of inactive workers are zero)
-  Alg1Code code; ///< fast decoder state
+  SparseRowMatrix b;  ///< m×k coding matrix (inactive workers: empty rows)
+  Alg1Code code;      ///< fast decoder state
 };
 
 /// Run Algorithm 1. `assignment` must replicate every partition exactly s+1

@@ -9,26 +9,54 @@ namespace hgc {
 namespace {
 // A least-squares residual below this bound certifies 1 ∈ rowspan(B_R).
 constexpr double kDecodeResidualTolerance = 1e-8;
+
+void check_shape(const SparseRowMatrix& b, std::size_t assignment_rows,
+                 std::size_t s) {
+  HGC_REQUIRE(assignment_rows == b.rows(),
+              "assignment must have one entry per worker");
+  HGC_REQUIRE(s < b.rows(),
+              "cannot tolerate as many stragglers as there are workers");
+}
 }  // namespace
 
-CodingScheme::CodingScheme(Matrix b, Assignment assignment, std::size_t s)
+CodingScheme::CodingScheme(SparseRowMatrix b, Assignment assignment,
+                           std::size_t s)
     : coding_matrix_(std::move(b)),
       assignment_(std::move(assignment)),
       s_(s) {
-  HGC_REQUIRE(assignment_.size() == coding_matrix_.rows(),
-              "assignment must have one entry per worker");
-  HGC_REQUIRE(s_ < coding_matrix_.rows(),
-              "cannot tolerate as many stragglers as there are workers");
+  check_shape(coding_matrix_, assignment_.size(), s_);
   // The coding matrix's support must match the declared assignment exactly;
   // the simulator derives per-worker compute load from the assignment and
   // the decoder trusts the matrix, so a mismatch would silently skew both.
+  // Sparse rows store exactly the nonzeros in ascending column order, so
+  // this is a direct O(nnz) sequence compare — not the old O(m·k) scan.
   for (std::size_t w = 0; w < assignment_.size(); ++w) {
-    std::vector<PartitionId> support;
-    for (std::size_t j = 0; j < coding_matrix_.cols(); ++j)
-      if (coding_matrix_(w, j) != 0.0) support.push_back(j);
-    HGC_REQUIRE(support == assignment_[w],
+    const auto cols = coding_matrix_.row_cols(w);
+    HGC_REQUIRE(std::equal(cols.begin(), cols.end(), assignment_[w].begin(),
+                           assignment_[w].end()),
                 "coding-matrix support differs from assignment");
   }
+}
+
+CodingScheme::CodingScheme(SparseRowMatrix b, std::size_t s)
+    : coding_matrix_(std::move(b)), s_(s) {
+  check_shape(coding_matrix_, coding_matrix_.rows(), s_);
+  // The assignment IS the row structure: supp(b_w), already ascending.
+  assignment_.resize(coding_matrix_.rows());
+  for (std::size_t w = 0; w < coding_matrix_.rows(); ++w) {
+    const auto cols = coding_matrix_.row_cols(w);
+    assignment_[w].assign(cols.begin(), cols.end());
+  }
+}
+
+CodingScheme::CodingScheme(const Matrix& b, Assignment assignment,
+                           std::size_t s)
+    : CodingScheme(SparseRowMatrix::from_dense(b), std::move(assignment), s) {}
+
+const Matrix& CodingScheme::coding_matrix() const {
+  std::call_once(dense_view_once_,
+                 [this] { dense_view_ = coding_matrix_.to_dense(); });
+  return dense_view_;
 }
 
 std::optional<Vector> CodingScheme::generic_decode(
@@ -50,9 +78,10 @@ std::optional<Vector> CodingScheme::generic_decode(
     if (received[w]) rows.push_back(w);
   if (rows.empty()) return std::nullopt;
 
-  // Solve B_Rᵀ·x = 1 (k equations, |R| unknowns) straight against the
-  // selected rows of B — no select_rows/transposed temporaries.
-  ws.qr.factor_transposed(RowSelectView(coding_matrix_, rows));
+  // Solve B_Rᵀ·x = 1 (k equations, |R| unknowns) packed straight from the
+  // sparse rows of B — byte-identical to the old dense gather (see
+  // QrWorkspace::factor_transposed's sparse overload).
+  ws.qr.factor_transposed(coding_matrix_, rows);
   ws.rhs.assign(num_partitions(), 1.0);
   const double residual = ws.qr.solve_into(ws.rhs, ws.x);
   if (residual > kDecodeResidualTolerance) return std::nullopt;
@@ -68,15 +97,19 @@ Vector encode_gradient(const CodingScheme& scheme, WorkerId worker,
   HGC_REQUIRE(worker < scheme.num_workers(), "worker id out of range");
   HGC_REQUIRE(partition_gradients.size() == scheme.num_partitions(),
               "need one gradient slot per partition");
-  const auto& mine = scheme.assignment()[worker];
-  if (mine.empty()) return {};
+  const SparseRowMatrix& b = scheme.sparse_matrix();
+  const auto cols = b.row_cols(worker);
+  const auto values = b.row_values(worker);
+  if (cols.empty()) return {};
 
-  const std::size_t dim = partition_gradients[mine.front()].size();
+  // Same coefficients in the same ascending-partition order as the old
+  // dense-indexed loop, so every axpy — and every output byte — matches.
+  const std::size_t dim = partition_gradients[cols.front()].size();
   Vector coded(dim, 0.0);
-  for (PartitionId p : mine) {
-    const Vector& g = partition_gradients[p];
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const Vector& g = partition_gradients[cols[i]];
     HGC_REQUIRE(g.size() == dim, "partition gradients must share a dimension");
-    kernels::axpy(scheme.coding_matrix()(worker, p), g, coded);
+    kernels::axpy(values[i], g, coded);
   }
   return coded;
 }

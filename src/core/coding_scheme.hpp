@@ -5,14 +5,23 @@
 // runtime question the master ever asks is: "given which workers have
 // responded so far, can I reconstruct Σ g_j — and with what coefficients?"
 // decoding_coefficients() answers it; everything else is bookkeeping.
+//
+// B is ≤(s+1)-sparse per row for every paper scheme, so the PRIMARY
+// representation is a SparseRowMatrix: construction, encode, decode packing
+// and the load/assignment accessors all run off nonzero structure — O(m·s)
+// instead of the dense O(m·k) that walls out 10k-worker clusters. A dense
+// view still exists for the small-m solve paths and external consumers, but
+// it materializes lazily on first request and never on the scale path.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "core/types.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "linalg/workspace.hpp"
 
 namespace hgc {
@@ -34,14 +43,21 @@ class CodingScheme {
   /// Number of stragglers this instance is provisioned to tolerate.
   std::size_t stragglers_tolerated() const { return s_; }
 
-  /// The coding matrix B.
-  const Matrix& coding_matrix() const { return coding_matrix_; }
+  /// The coding matrix B in its native sparse form — the representation
+  /// every hot path should consume.
+  const SparseRowMatrix& sparse_matrix() const { return coding_matrix_; }
+
+  /// Dense view of B, materialized lazily on first call (thread-safe) and
+  /// cached. At 10k workers this is gigabytes — keep it off scale paths;
+  /// it exists for small-m solve/debug consumers only.
+  const Matrix& coding_matrix() const;
 
   /// Data-partition assignment (supp(b_i) per worker).
   const Assignment& assignment() const { return assignment_; }
 
-  /// Number of partitions worker w computes per iteration (||b_w||_0).
-  std::size_t load(WorkerId w) const { return assignment_[w].size(); }
+  /// Number of partitions worker w computes per iteration (||b_w||_0) —
+  /// read straight off the sparse row structure.
+  std::size_t load(WorkerId w) const { return coding_matrix_.row_nnz(w); }
 
   /// Decoding coefficients a with supp(a) ⊆ received and a·B = 1_{1×k}, or
   /// nullopt when the received set cannot reconstruct the gradient yet.
@@ -57,8 +73,18 @@ class CodingScheme {
   }
 
  protected:
-  /// Derived constructors hand over the finished matrix and assignment.
-  CodingScheme(Matrix b, Assignment assignment, std::size_t s);
+  /// Derived constructors hand over the finished matrix and assignment;
+  /// the support of B must equal the assignment exactly (checked in
+  /// O(nnz)).
+  CodingScheme(SparseRowMatrix b, Assignment assignment, std::size_t s);
+
+  /// Same, but the assignment IS the row structure: derived directly from
+  /// the sparse rows in O(nnz), no scan, no redundant validation.
+  CodingScheme(SparseRowMatrix b, std::size_t s);
+
+  /// Dense convenience for constructors/tests that still build a Matrix;
+  /// converts via SparseRowMatrix::from_dense (support = entries != 0.0).
+  CodingScheme(const Matrix& b, Assignment assignment, std::size_t s);
 
   /// Generic decodability fallback: least-squares solve of B_Rᵀ·x = 1 with a
   /// residual test. Works for any B; O(k·|R|²). Scratch (the row selection,
@@ -73,9 +99,14 @@ class CodingScheme {
                                        SolveWorkspace& ws) const;
 
  private:
-  Matrix coding_matrix_;
+  SparseRowMatrix coding_matrix_;
   Assignment assignment_;
   std::size_t s_;
+  // Lazily materialized dense view; guarded so concurrent sweep threads
+  // sharing one scheme race-free. Logically const — a pure function of
+  // coding_matrix_.
+  mutable Matrix dense_view_;
+  mutable std::once_flag dense_view_once_;
 };
 
 /// Worker-side encoding: g̃_w = Σ_j B(w,j)·g_j over the partitions worker w

@@ -5,7 +5,7 @@
 namespace hgc {
 
 struct FractionalRepetitionScheme::Layout {
-  Matrix b;
+  SparseRowMatrix b;
   Assignment assignment;
   std::vector<std::vector<WorkerId>> blocks;
   std::vector<std::vector<PartitionId>> stripes;
@@ -24,11 +24,11 @@ FractionalRepetitionScheme::Layout make_layout(std::size_t m, std::size_t s,
   const std::size_t stripe_size = k / num_blocks;
 
   FractionalRepetitionScheme::Layout layout;
-  layout.b = Matrix(m, k);
   layout.assignment.resize(m);
   layout.blocks.resize(num_blocks);
   layout.stripes.resize(num_blocks);
 
+  SparseRowBuilder b(m, k);
   for (std::size_t blk = 0; blk < num_blocks; ++blk) {
     for (std::size_t i = 0; i < stripe_size; ++i)
       layout.stripes[blk].push_back(blk * stripe_size + i);
@@ -36,9 +36,10 @@ FractionalRepetitionScheme::Layout make_layout(std::size_t m, std::size_t s,
       const WorkerId w = blk * (s + 1) + r;
       layout.blocks[blk].push_back(w);
       layout.assignment[w] = layout.stripes[blk];
-      for (PartitionId p : layout.stripes[blk]) layout.b(w, p) = 1.0;
+      for (PartitionId p : layout.stripes[blk]) b.set(w, p, 1.0);
     }
   }
+  layout.b = b.build();
   return layout;
 }
 

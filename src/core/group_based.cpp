@@ -8,7 +8,7 @@
 namespace hgc {
 
 struct GroupBasedScheme::Build {
-  Matrix b;
+  SparseRowMatrix b;
   Assignment assignment;
   std::vector<Group> groups;
   Alg1Code sub_code;
@@ -35,10 +35,10 @@ GroupBasedScheme::Build make_build(const Throughputs& c, std::size_t k,
     for (WorkerId w : g) in_group[w] = true;
 
   // Alg. 3: coefficient 1 for group workers on their own partitions.
-  Matrix b(m, k);
+  SparseRowBuilder b(m, k);
   for (const Group& g : groups)
     for (WorkerId w : g)
-      for (PartitionId partition : assignment[w]) b(w, partition) = 1.0;
+      for (PartitionId partition : assignment[w]) b.set(w, partition, 1.0);
 
   // Non-group workers form an Alg.1 sub-code with tolerance s' = s − P.
   // Their supports cover every partition exactly s+1−P times because each
@@ -55,12 +55,17 @@ GroupBasedScheme::Build make_build(const Throughputs& c, std::size_t k,
   if (any_residual) {
     HGC_ASSERT(p <= s, "residual workers imply P <= s");
     Alg1Build sub = build_alg1(sub_assignment, k, s - p, rng);
-    for (std::size_t w = 0; w < m; ++w)
-      if (!sub_assignment[w].empty()) b.set_row(w, sub.b.row(w));
+    for (std::size_t w = 0; w < m; ++w) {
+      if (sub_assignment[w].empty()) continue;
+      const auto cols = sub.b.row_cols(w);
+      const auto values = sub.b.row_values(w);
+      for (std::size_t i = 0; i < cols.size(); ++i)
+        b.set(w, cols[i], values[i]);
+    }
     sub_code = std::move(sub.code);
   }
 
-  return {std::move(b), std::move(assignment), std::move(groups),
+  return {b.build(), std::move(assignment), std::move(groups),
           std::move(sub_code)};
 }
 

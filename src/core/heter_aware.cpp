@@ -12,19 +12,13 @@ Alg1Build build_from_throughputs(const Throughputs& c, std::size_t k,
   return build_alg1(assignment, k, s, rng);
 }
 
-Assignment assignment_from_matrix(const Matrix& b) {
-  Assignment assignment(b.rows());
-  for (std::size_t w = 0; w < b.rows(); ++w)
-    for (std::size_t j = 0; j < b.cols(); ++j)
-      if (b(w, j) != 0.0) assignment[w].push_back(j);
-  return assignment;
-}
-
 }  // namespace
 
 HeterAwareScheme::HeterAwareScheme(Alg1Build build, std::size_t s)
-    : CodingScheme(build.b, assignment_from_matrix(build.b), s),
-      code_(std::move(build.code)) {}
+    // The single-argument base constructor derives the assignment straight
+    // from the sparse row structure — the old O(m·k) assignment_from_matrix
+    // dense scan is gone.
+    : CodingScheme(std::move(build.b), s), code_(std::move(build.code)) {}
 
 HeterAwareScheme::HeterAwareScheme(const Throughputs& c, std::size_t k,
                                    std::size_t s, Rng& rng)

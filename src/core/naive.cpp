@@ -7,16 +7,18 @@
 namespace hgc {
 namespace {
 
-Assignment identity_assignment(std::size_t m) {
-  Assignment assignment(m);
-  for (std::size_t w = 0; w < m; ++w) assignment[w] = {w};
-  return assignment;
+// Sparse m×m identity: O(m) storage instead of the dense O(m²) that made
+// the uncoded baseline the most expensive scheme to *construct* at scale.
+SparseRowMatrix sparse_identity(std::size_t m) {
+  SparseRowBuilder b(m, m);
+  for (std::size_t w = 0; w < m; ++w) b.set(w, w, 1.0);
+  return b.build();
 }
 
 }  // namespace
 
 NaiveScheme::NaiveScheme(std::size_t m)
-    : CodingScheme(Matrix::identity(m), identity_assignment(m), 0) {
+    : CodingScheme(sparse_identity(m), 0) {
   HGC_REQUIRE(m > 0, "need at least one worker");
 }
 

@@ -23,6 +23,37 @@ bool ones_in_row_span(const Matrix& b, std::span<const std::size_t> rows,
   return ws.qr.solve_into(ws.rhs, ws.x) <= tolerance;
 }
 
+bool ones_in_row_span(const SparseRowMatrix& b,
+                      std::span<const std::size_t> rows, double tolerance) {
+  thread_local SolveWorkspace ws;
+  return ones_in_row_span(b, rows, tolerance, ws);
+}
+
+bool ones_in_row_span(const SparseRowMatrix& b,
+                      std::span<const std::size_t> rows, double tolerance,
+                      SolveWorkspace& ws) {
+  if (rows.empty()) return false;
+  // Identical solve to the dense variant: the sparse scatter packs a
+  // byte-identical B_Rᵀ (see QrWorkspace::factor_transposed).
+  ws.qr.factor_transposed(b, rows);
+  ws.rhs.assign(b.cols(), 1.0);
+  return ws.qr.solve_into(ws.rhs, ws.x) <= tolerance;
+}
+
+std::size_t count_straggler_patterns(std::size_t m, std::size_t s,
+                                     std::size_t cap) {
+  HGC_REQUIRE(s <= m, "cannot choose more stragglers than workers");
+  const std::size_t r = std::min(s, m - s);
+  // Multiplicative formula with exact intermediate division; 128-bit
+  // intermediates cannot overflow because n is capped each step.
+  unsigned __int128 n = 1;
+  for (std::size_t i = 1; i <= r; ++i) {
+    n = n * (m - r + i) / i;
+    if (n >= cap) return cap;
+  }
+  return static_cast<std::size_t>(n);
+}
+
 bool satisfies_condition1(const Matrix& b, std::size_t s, double tolerance,
                           SolveWorkspace* ws) {
   const std::size_t m = b.rows();
@@ -119,6 +150,31 @@ std::optional<double> worst_case_time(const CodingScheme& scheme,
       });
   if (!ok) return std::nullopt;
   return worst;
+}
+
+RobustnessEstimate estimate_worst_case_time(const CodingScheme& scheme,
+                                            const Throughputs& c,
+                                            std::size_t max_patterns,
+                                            std::uint64_t seed,
+                                            DecodingCache* cache) {
+  const std::size_t m = scheme.num_workers();
+  const std::size_t s = scheme.stragglers_tolerated();
+  RobustnessEstimate estimate;
+  estimate.exhaustive =
+      count_straggler_patterns(m, s, max_patterns + 1) <= max_patterns;
+
+  const auto check = [&](const StragglerSet& pattern) {
+    ++estimate.patterns_checked;
+    const auto t = completion_time(scheme, c, pattern, cache);
+    if (t)
+      estimate.worst_time = std::max(estimate.worst_time, *t);
+    else
+      ++estimate.undecodable;
+    return true;  // never early-exit: we are estimating, not certifying
+  };
+  check({});  // zero-straggler baseline, covering s = 0 schemes
+  sample_straggler_patterns(m, s, max_patterns, seed, check);
+  return estimate;
 }
 
 double optimal_time_bound(const Throughputs& c, std::size_t k, std::size_t s) {

@@ -12,8 +12,9 @@
 namespace hgc::engine {
 
 MasterActor::MasterActor(Simulation& sim, const CodingScheme& scheme,
-                         DecodingCache* decoding_cache)
-    : Actor(sim, "master"), decoder_(scheme, decoding_cache) {}
+                         DecodingCache* decoding_cache,
+                         DecodeStrategy strategy)
+    : Actor(sim, "master"), decoder_(scheme, decoding_cache, strategy) {}
 
 void MasterActor::begin_round(std::uint64_t iteration) {
   decoder_.reset();
@@ -130,7 +131,8 @@ RoundOutcome run_round(const CodingScheme& scheme, const Cluster& cluster,
               "wire frames require partition gradients");
 
   Simulation sim;
-  MasterActor master(sim, scheme, options.decoding_cache);
+  MasterActor master(sim, scheme, options.decoding_cache,
+                     options.decode_strategy);
   master.begin_round(options.iteration);
 
   RoundOutcome outcome;

@@ -606,6 +606,17 @@ Cluster cluster_by_name(const std::string& name) {
   if (key == "b" || key == "cluster-b") return cluster_b();
   if (key == "c" || key == "cluster-c") return cluster_c();
   if (key == "d" || key == "cluster-d") return cluster_d();
+  // Beyond-paper scale preset: "scale-<workers>" (or "scale<workers>")
+  // builds the synthetic heterogeneous cluster the sparse coding layer
+  // exists for, e.g. scale-10000 for the CI 10k churn smoke.
+  if (key.rfind("scale", 0) == 0) {
+    std::string digits = key.substr(5);
+    if (!digits.empty() && digits.front() == '-') digits = digits.substr(1);
+    if (!digits.empty() &&
+        std::all_of(digits.begin(), digits.end(),
+                    [](unsigned char c) { return std::isdigit(c); }))
+      return scale_cluster(std::stoul(digits));
+  }
   throw std::invalid_argument("unknown cluster: " + name);
 }
 

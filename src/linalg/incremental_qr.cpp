@@ -1,0 +1,104 @@
+#include "linalg/incremental_qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hgc {
+
+void IncrementalQr::reset(std::span<const double> rhs, double tolerance) {
+  HGC_REQUIRE(!rhs.empty(), "incremental QR needs at least one row");
+  rows_ = rhs.size();
+  rank_ = 0;
+  tolerance_ = tolerance;
+  max_col_norm_sq_ = 0.0;
+  qtb_.assign(rhs.begin(), rhs.end());
+  betas_.clear();
+  independent_.clear();
+  fac_.clear();
+}
+
+bool IncrementalQr::append_scattered(std::span<const std::size_t> indices,
+                                     std::span<const double> values) {
+  HGC_REQUIRE(indices.size() == values.size(),
+              "scatter index/value length mismatch");
+  // Stage the incoming column in slot rank_ (a previously rejected column
+  // is simply overwritten).
+  fac_.resize((rank_ + 1) * rows_);
+  double* col = fac_.data() + rank_ * rows_;
+  std::fill(col, col + rows_, 0.0);
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    HGC_REQUIRE(indices[i] < rows_, "scatter index out of range");
+    col[indices[i]] = values[i];
+    norm_sq += values[i] * values[i];
+  }
+  max_col_norm_sq_ = std::max(max_col_norm_sq_, norm_sq);
+
+  // Apply the existing reflectors in order: H_j acts on indices [j, rows).
+  for (std::size_t j = 0; j < rank_; ++j) {
+    const double* v = fac_.data() + j * rows_;
+    double t = col[j];  // v[j] ≡ 1
+    for (std::size_t i = j + 1; i < rows_; ++i) t += v[i] * col[i];
+    t *= betas_[j];
+    col[j] -= t;
+    for (std::size_t i = j + 1; i < rows_; ++i) col[i] -= t * v[i];
+  }
+
+  // Dependence test on the projected tail, scaled like the canonical
+  // factorization's threshold: tolerance · max(1, largest column norm).
+  double tail_sq = 0.0;
+  for (std::size_t i = rank_; i < rows_; ++i) tail_sq += col[i] * col[i];
+  const double threshold =
+      tolerance_ * std::max(1.0, std::sqrt(max_col_norm_sq_));
+  if (rank_ >= rows_ || std::sqrt(tail_sq) <= threshold) {
+    independent_.push_back(0);
+    return false;
+  }
+
+  // Form the new reflector: reflect the tail onto alpha·e_rank with
+  // alpha = −sign(col[rank])·‖tail‖ (the stable sign choice), store the
+  // normalized v (v[rank] ≡ 1) below the diagonal and beta = −v₀/alpha.
+  const double norm = std::sqrt(tail_sq);
+  const double alpha = col[rank_] >= 0.0 ? -norm : norm;
+  const double v0 = col[rank_] - alpha;
+  for (std::size_t i = rank_ + 1; i < rows_; ++i) col[i] /= v0;
+  col[rank_] = alpha;  // R's new diagonal entry
+  const double beta = -v0 / alpha;
+  betas_.push_back(beta);
+
+  // Fold the reflector into the running Qᵀ·b.
+  double t = qtb_[rank_];
+  for (std::size_t i = rank_ + 1; i < rows_; ++i) t += col[i] * qtb_[i];
+  t *= beta;
+  qtb_[rank_] -= t;
+  for (std::size_t i = rank_ + 1; i < rows_; ++i) qtb_[i] -= t * col[i];
+
+  ++rank_;
+  independent_.push_back(1);
+  return true;
+}
+
+double IncrementalQr::residual_norm() const {
+  double sum = 0.0;
+  for (std::size_t i = rank_; i < rows_; ++i) sum += qtb_[i] * qtb_[i];
+  return std::sqrt(sum);
+}
+
+void IncrementalQr::solve_into(Vector& x) const {
+  // Back-substitute R (rank_×rank_, upper triangle of the stored columns)
+  // against qtb_[0:rank_), then expand to append order with zeros in the
+  // dependent slots.
+  x.assign(independent_.size(), 0.0);
+  if (rank_ == 0) return;
+  Vector y(qtb_.begin(), qtb_.begin() + static_cast<std::ptrdiff_t>(rank_));
+  for (std::size_t jj = rank_; jj-- > 0;) {
+    const double* col = fac_.data() + jj * rows_;
+    y[jj] /= col[jj];
+    for (std::size_t i = 0; i < jj; ++i) y[i] -= col[i] * y[jj];
+  }
+  std::size_t stored = 0;
+  for (std::size_t c = 0; c < independent_.size(); ++c)
+    if (independent_[c]) x[c] = y[stored++];
+}
+
+}  // namespace hgc

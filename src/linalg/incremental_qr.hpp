@@ -1,0 +1,77 @@
+// Column-append Householder QR for truly incremental decoding.
+//
+// The streaming decode problem is least squares over (B_R)ᵀ·a = 1_k where
+// R grows one received row at a time. Re-factoring per prefix costs
+// O(n³) per arrival — O(n⁴) per round. IncrementalQr instead maintains an
+// UNPIVOTED Householder factorization in arrival order and appends one
+// column in O(rows·rank): apply the existing reflectors to the new column,
+// form (or skip) one new reflector, and fold it into the running Qᵀ·b.
+// The residual of the growing system is readable at every step for free
+// (‖Qᵀb‖ below the rank index), so the decoder can test decodability per
+// arrival without a solve.
+//
+// Numerically this is NOT the canonical column-pivoted factorization in
+// QrWorkspace: pivot order there depends on all columns at once, so an
+// append-only factorization cannot reproduce its bytes. Dependent columns
+// here get coefficient 0 (the free-variable convention), which is a valid
+// — but potentially different — basic solution. Callers that need the
+// repo-wide byte-identity contract must keep using QrWorkspace; this class
+// backs the opt-in DecodeStrategy::kIncremental path only.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hgc {
+
+/// Append-only Householder QR (no pivoting). Columns arrive one at a time;
+/// dependent columns are detected and excluded from the factor (their
+/// solution coefficient is fixed to zero). Storage is reused across
+/// reset() calls — steady-state appends allocate nothing once capacity
+/// covers the shape.
+class IncrementalQr {
+ public:
+  /// Start a fresh factorization of a rows×0 matrix with right-hand side
+  /// `rhs` (length = row count). Keeps allocated capacity.
+  void reset(std::span<const double> rhs, double tolerance = 1e-10);
+
+  /// Append one column given as a sparse scatter (ascending indices into
+  /// [0, rows)). Returns true when the column was independent and grew the
+  /// rank; false when it was (numerically) dependent on the columns so far.
+  bool append_scattered(std::span<const std::size_t> indices,
+                        std::span<const double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols_appended() const { return independent_.size(); }
+  std::size_t rank() const { return rank_; }
+
+  /// ‖A·x − b‖₂ of the current least-squares optimum — available without
+  /// solving: the norm of Qᵀb below the rank index.
+  double residual_norm() const;
+
+  /// Write the basic least-squares solution: one coefficient per appended
+  /// column, in append order; dependent columns get exactly 0.0. x is
+  /// resized to cols_appended().
+  void solve_into(Vector& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t rank_ = 0;
+  double tolerance_ = 1e-10;
+  double max_col_norm_sq_ = 0.0;  // running max of appended ‖col‖² — sets
+                                  // the dependence threshold scale
+  // Column-major rows_×(rank_+1) working storage: stored column j holds
+  // R(0..j, j) on and above the diagonal and reflector j's tail (v, with
+  // v[j] ≡ 1 implicit) below it. The incoming column is staged in slot
+  // rank_, so a rejected (dependent) column is overwritten by the next
+  // append.
+  std::vector<double> fac_;
+  std::vector<double> betas_;      // reflector scales, one per rank
+  std::vector<double> qtb_;        // running Qᵀ·b
+  std::vector<char> independent_;  // per appended column, in append order
+};
+
+}  // namespace hgc

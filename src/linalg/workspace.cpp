@@ -72,6 +72,25 @@ void QrWorkspace::factor_transposed(const RowSelectView& view,
   factor_packed(tolerance);
 }
 
+void QrWorkspace::factor_transposed(const SparseRowMatrix& b,
+                                    std::span<const std::size_t> rows,
+                                    double tolerance) {
+  // Pack (B_R)ᵀ column by column: zero-fill, then scatter row i's nonzeros
+  // down column i. The packed bytes equal the dense gather's (absent
+  // entries are +0.0 there too), so sparse vs dense packing cannot change
+  // a factorization bit.
+  qr_.reshape(b.cols(), rows.size());
+  std::fill(qr_.data().begin(), qr_.data().end(), 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    HGC_REQUIRE(rows[i] < b.rows(), "row selection out of range");
+    const auto cols = b.row_cols(rows[i]);
+    const auto values = b.row_values(rows[i]);
+    for (std::size_t j = 0; j < cols.size(); ++j)
+      qr_(cols[j], i) = values[j];
+  }
+  factor_packed(tolerance);
+}
+
 void QrWorkspace::factor_packed(double tolerance) {
   HGC_TRACE_SCOPE("qr_factor", "linalg",
                   static_cast<std::int64_t>(qr_.rows()));

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 
 namespace hgc {
 
@@ -83,6 +84,14 @@ class QrWorkspace {
   /// Factor viewᵀ — i.e. (B_R)ᵀ for a row selection of B — gathered
   /// directly from the base matrix, no temporaries.
   void factor_transposed(const RowSelectView& view, double tolerance = 1e-10);
+
+  /// Factor (B_R)ᵀ for a row selection of a sparse B: each selected row is
+  /// zero-filled then scattered into its packed column. For a support-clean
+  /// matrix the packed buffer is byte-identical to the dense gather above,
+  /// so the factorization — and every downstream solve byte — is unchanged.
+  void factor_transposed(const SparseRowMatrix& b,
+                         std::span<const std::size_t> rows,
+                         double tolerance = 1e-10);
 
   std::size_t rank() const { return rank_; }
   std::size_t rows() const { return qr_.rows(); }

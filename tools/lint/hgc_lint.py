@@ -22,10 +22,13 @@ Rules (see RULES for scopes and per-rule allowlists):
                         util/rng's seeded streams. src/obs/ is exempt —
                         wall-clock timestamps are its whole job.
   raw-fp-accumulation   Floating-point accumulation in the decode/sweep hot
-                        paths must route through linalg/kernels, whose fixed
-                        summation order IS the determinism contract (PR 4).
+                        paths must route through linalg/kernels (dense) or
+                        linalg/sparse (CSR), whose fixed summation orders
+                        ARE the determinism contract (PR 4; sparse PR 10).
                         An ad-hoc `sum += a[i] * b[i]` loop is a parallel
-                        summation-order decision nobody reviews.
+                        summation-order decision nobody reviews. src/linalg/
+                        is exactly the sanctioned accumulation site — the
+                        sparse kernels live there for that reason.
   raw-allocation        Kernel/workspace code (src/linalg/) is allocation-
                         free on the hot path by contract (pinned by an
                         instrumented-allocator test); naked new/malloc (or
@@ -118,7 +121,8 @@ RULES = {
         name="raw-fp-accumulation",
         description=(
             "floating-point accumulation in a hot path not routed through "
-            "linalg/kernels' fixed summation order"
+            "the fixed summation orders of linalg/kernels (dense) or "
+            "linalg/sparse (CSR rows)"
         ),
         patterns=[
             re.compile(r"std\s*::\s*accumulate\b"),

@@ -182,6 +182,29 @@ def test_fp_accumulation_ignored_outside_hot_paths():
     assert code == 0, out
 
 
+SPARSE_ROW_DOT = """
+double row_dot(const std::size_t* cols, const double* values,
+               std::size_t nnz, const double* x) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < nnz; ++i) sum += values[i] * x[cols[i]];
+  return sum;
+}
+"""
+
+
+def test_fp_accumulation_sanctions_sparse_kernels_in_linalg():
+    # The CSR kernels are the sparse half of the determinism contract; they
+    # live in src/linalg/ precisely so their accumulation chains are the
+    # sanctioned implementation, not a bypass. The identical loop in
+    # src/core/ is still a finding.
+    code, out = run_lint({"src/linalg/sparse.cpp": SPARSE_ROW_DOT})
+    assert code == 0, out
+    code, out = run_lint({"src/core/sparse_copy.cpp": SPARSE_ROW_DOT})
+    assert code == 1
+    assert "[raw-fp-accumulation]" in out
+    assert "linalg/sparse" in out  # the finding names the sanctioned homes
+
+
 # --- raw-allocation ------------------------------------------------------
 
 def test_raw_allocation_fires_in_linalg():
